@@ -1,0 +1,129 @@
+// Command ofctl inspects a running HARMLESS switch the way
+// ovs-ofctl inspects Open vSwitch: it listens as an OpenFlow
+// controller, waits for one switch to connect, issues the requested
+// multipart queries, prints the results, and exits.
+//
+// Usage (pair with harmlessd -controller pointing here):
+//
+//	ofctl -listen :6653 dump-flows
+//	ofctl -listen :6653 dump-ports
+//	ofctl -listen :6653 dump-desc
+//	ofctl -listen :6653 dump-tables
+//	ofctl -listen :6653 show
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/openflow"
+)
+
+func main() {
+	listen := flag.String("listen", ":6653", "address to accept the switch connection on")
+	timeout := flag.Duration("timeout", 30*time.Second, "how long to wait for the switch")
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "show"
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "ofctl: waiting for a switch on %s ...\n", *listen)
+	if dl, ok := l.(*net.TCPListener); ok {
+		_ = dl.SetDeadline(time.Now().Add(*timeout))
+	}
+	// Accept until a peer completes the OpenFlow handshake (port
+	// probes and health checks are tolerated and skipped).
+	var conn *openflow.Conn
+	var features *openflow.FeaturesReply
+	for conn == nil {
+		tcp, err := l.Accept()
+		if err != nil {
+			fatal("accept: %v", err)
+		}
+		c := openflow.NewConn(tcp)
+		f, err := c.Handshake(nil)
+		if err != nil {
+			c.Close()
+			fmt.Fprintf(os.Stderr, "ofctl: peer %s did not speak OpenFlow (%v), waiting again\n",
+				tcp.RemoteAddr(), err)
+			continue
+		}
+		conn, features = c, f
+	}
+	defer conn.Close()
+
+	switch cmd {
+	case "show":
+		fmt.Printf("dpid=%#016x n_tables=%d n_buffers=%d capabilities=%#x\n",
+			features.DatapathID, features.NTables, features.NBuffers, features.Capabilities)
+		reply := multipart(conn, &openflow.MultipartRequest{MPType: openflow.MultipartPortDesc})
+		for _, p := range reply.PortDescs {
+			fmt.Printf(" port %d (%s): addr=%s state=%#x speed=%dkbps\n",
+				p.PortNo, p.Name, p.HWAddr, p.State, p.CurrSpeed)
+		}
+	case "dump-flows":
+		reply := multipart(conn, &openflow.MultipartRequest{MPType: openflow.MultipartFlow})
+		for _, f := range reply.Flows {
+			fmt.Printf(" %s\n", f.String())
+		}
+		if len(reply.Flows) == 0 {
+			fmt.Println(" (no flows)")
+		}
+	case "dump-ports":
+		reply := multipart(conn, &openflow.MultipartRequest{MPType: openflow.MultipartPortStats})
+		for _, p := range reply.Ports {
+			fmt.Printf(" port %d: rx pkts=%d bytes=%d drop=%d err=%d, tx pkts=%d bytes=%d drop=%d\n",
+				p.PortNo, p.RxPackets, p.RxBytes, p.RxDropped, p.RxErrors,
+				p.TxPackets, p.TxBytes, p.TxDropped)
+		}
+	case "dump-tables":
+		reply := multipart(conn, &openflow.MultipartRequest{MPType: openflow.MultipartTable})
+		for _, t := range reply.Tables {
+			fmt.Printf(" table %d: active=%d lookups=%d matched=%d\n",
+				t.TableID, t.ActiveCount, t.LookupCount, t.MatchedCount)
+		}
+	case "dump-desc":
+		reply := multipart(conn, &openflow.MultipartRequest{MPType: openflow.MultipartDesc})
+		d := reply.Desc
+		fmt.Printf(" manufacturer: %s\n hardware:     %s\n software:     %s\n serial:       %s\n datapath:     %s\n",
+			d.Manufacturer, d.Hardware, d.Software, d.SerialNum, d.Datapath)
+	default:
+		fatal("unknown command %q (want show|dump-flows|dump-ports|dump-tables|dump-desc)", cmd)
+	}
+}
+
+// multipart sends one request and waits for its reply, answering echo
+// requests meanwhile.
+func multipart(conn *openflow.Conn, req *openflow.MultipartRequest) *openflow.MultipartReply {
+	if err := conn.Send(req); err != nil {
+		fatal("send: %v", err)
+	}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			fatal("recv: %v", err)
+		}
+		switch t := m.(type) {
+		case *openflow.MultipartReply:
+			return t
+		case *openflow.EchoRequest:
+			_ = conn.Send(&openflow.EchoReply{Data: t.Data})
+		case *openflow.Error:
+			fatal("switch error: %v", t)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ofctl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command trafficgen runs the E2 throughput sweep without the Go
+// bench harness: it pushes frames of each RFC 2544 size through (a)
+// a bare software switch and (b) the full HARMLESS chain, and prints
+// packets/s, Gbit/s and the relative penalty — the table behind the
+// paper's "no major performance penalty" claim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/controller"
+	"github.com/harmless-sdn/harmless/internal/controller/apps"
+	"github.com/harmless-sdn/harmless/internal/fabric"
+	"github.com/harmless-sdn/harmless/internal/netem"
+	"github.com/harmless-sdn/harmless/internal/openflow"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+	"github.com/harmless-sdn/harmless/internal/softswitch"
+)
+
+func main() {
+	duration := flag.Duration("duration", 500*time.Millisecond, "measurement time per cell")
+	specialize := flag.Bool("specialize", true, "enable the ESwitch-style fast path")
+	flag.Parse()
+
+	fmt.Printf("%-8s %-22s %-22s %-10s\n", "frame", "bare softswitch", "HARMLESS chain", "penalty")
+	for _, size := range fabric.FrameSizes {
+		barePPS := measureBare(size, *duration, *specialize)
+		harmPPS := measureHARMLESS(size, *duration, *specialize)
+		penalty := 1 - harmPPS/barePPS
+		fmt.Printf("%-8d %10.0f pps %5.2f Gb/s %10.0f pps %5.2f Gb/s %8.1f%%\n",
+			size,
+			barePPS, gbps(barePPS, size),
+			harmPPS, gbps(harmPPS, size),
+			penalty*100)
+	}
+}
+
+func gbps(pps float64, size int) float64 { return pps * float64(size) * 8 / 1e9 }
+
+func measureBare(size int, d time.Duration, specialize bool) float64 {
+	sw := softswitch.New("bare", 1, softswitch.WithSpecialization(specialize))
+	in := netem.NewLink(netem.LinkConfig{})
+	out := netem.NewLink(netem.LinkConfig{})
+	defer in.Close()
+	defer out.Close()
+	sw.AttachNetPort(1, "in", in.A())
+	sw.AttachNetPort(2, "out", out.A())
+	out.B().SetReceiver(func([]byte) {})
+	m := openflow.Match{}
+	m.WithInPort(1)
+	if _, err := sw.ApplyFlowMod(&openflow.FlowMod{
+		TableID: 0, Command: openflow.FlowAdd, Priority: 10,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortAny, OutGroup: openflow.GroupAny,
+		Match: m, Instructions: []openflow.Instruction{&openflow.InstrApplyActions{
+			Actions: []openflow.Action{&openflow.ActionOutput{Port: 2, MaxLen: 0xffff}},
+		}},
+	}); err != nil {
+		fatal("flow: %v", err)
+	}
+	frame := fabric.NewUDPGenerator(size, 64, 42)
+	return measure(d, func() { _ = in.B().Send(frame.Next()) })
+}
+
+func measureHARMLESS(size int, d time.Duration, specialize bool) float64 {
+	dep, err := fabric.BuildDeployment(fabric.DeployConfig{
+		NumPorts:   4,
+		Apps:       []controller.App{&apps.Learning{Table: 0}},
+		Specialize: specialize,
+	})
+	if err != nil {
+		fatal("deploy: %v", err)
+	}
+	defer dep.Close()
+	if err := dep.WaitConnected(5 * time.Second); err != nil {
+		fatal("controller: %v", err)
+	}
+	// Warm flows in both directions.
+	for i := 0; i < 2; i++ {
+		if err := dep.Hosts[1].Ping(dep.Hosts[2].IP, 2*time.Second); err != nil {
+			fatal("warmup: %v", err)
+		}
+	}
+	payloadLen := size - pkt.EthernetHeaderLen - pkt.IPv4MinHeaderLen - pkt.UDPHeaderLen
+	if payloadLen < 0 {
+		payloadLen = 0
+	}
+	payload := make(pkt.Payload, payloadLen)
+	frame, err := pkt.Serialize(
+		&pkt.Ethernet{Src: fabric.HostMAC(1), Dst: fabric.HostMAC(2), EtherType: pkt.EtherTypeIPv4},
+		&pkt.IPv4Header{TTL: 64, Protocol: pkt.IPProtoUDP, Src: fabric.HostIP(1), Dst: fabric.HostIP(2)},
+		&pkt.UDP{SrcPort: 7, DstPort: 8},
+		&payload,
+	)
+	if err != nil {
+		fatal("frame: %v", err)
+	}
+	h1 := dep.Hosts[1]
+	return measure(d, func() { h1.SendRaw(frame) })
+}
+
+// measure runs fn in a tight loop for duration d and returns ops/s.
+func measure(d time.Duration, fn func()) float64 {
+	// Warm up.
+	for i := 0; i < 1000; i++ {
+		fn()
+	}
+	start := time.Now()
+	n := 0
+	for time.Since(start) < d {
+		for i := 0; i < 256; i++ {
+			fn()
+		}
+		n += 256
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "trafficgen: "+format+"\n", args...)
+	os.Exit(1)
+}

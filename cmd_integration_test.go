@@ -1,0 +1,133 @@
+package harmless_test
+
+// Binary-level integration tests: build the real cmd/ executables and
+// drive them the way an operator would.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildBinaries compiles all cmd/ executables once per test run.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("binary integration test")
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"harmlessd", "ofctl", "costcalc", "trafficgen"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+	}
+	return dir
+}
+
+func TestBinaryHarmlessdOneshot(t *testing.T) {
+	bin := buildBinaries(t)
+	cmd := exec.Command(filepath.Join(bin, "harmlessd"), "-ports", "4", "-oneshot")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("harmlessd -oneshot: %v\n%s", err, out)
+	}
+	for _, want := range []string{"demo PASSED", "h1 -> h2: ok", "migrated"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBinaryCostcalc(t *testing.T) {
+	bin := buildBinaries(t)
+	out, err := exec.Command(filepath.Join(bin, "costcalc"), "-ports", "48").CombinedOutput()
+	if err != nil {
+		t.Fatalf("costcalc: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "harmless") || !strings.Contains(string(out), "break-even") {
+		t.Errorf("costcalc output:\n%s", out)
+	}
+}
+
+// TestBinaryOfctlAgainstHarmlessd pairs the two daemons over real TCP:
+// ofctl listens as a controller, harmlessd connects SS_2 to it, and
+// ofctl dumps the switch description.
+func TestBinaryOfctlAgainstHarmlessd(t *testing.T) {
+	bin := buildBinaries(t)
+	port := freeTCPPort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+
+	ofctl := exec.Command(filepath.Join(bin, "ofctl"), "-listen", addr, "-timeout", "20s", "show")
+	var ofctlOut bytes.Buffer
+	ofctl.Stdout = &ofctlOut
+	ofctl.Stderr = &ofctlOut
+	if err := ofctl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ofctl.Wait() }()
+
+	// Give ofctl a moment to bind, then point harmlessd at it.
+	waitForListen(t, addr)
+	hd := exec.Command(filepath.Join(bin, "harmlessd"),
+		"-ports", "4", "-controller", addr, "-stats", "0")
+	var hdOut bytes.Buffer
+	hd.Stdout = &hdOut
+	hd.Stderr = &hdOut
+	if err := hd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = hd.Process.Kill()
+		_, _ = hd.Process.Wait()
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ofctl: %v\nofctl output:\n%s\nharmlessd output:\n%s",
+				err, ofctlOut.String(), hdOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		_ = ofctl.Process.Kill()
+		t.Fatalf("ofctl timed out\nofctl output:\n%s\nharmlessd output:\n%s",
+			ofctlOut.String(), hdOut.String())
+	}
+	out := ofctlOut.String()
+	if !strings.Contains(out, "dpid=") || !strings.Contains(out, "port 1") {
+		t.Errorf("ofctl show output:\n%s", out)
+	}
+}
+
+func freeTCPPort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+func waitForListen(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening on %s", addr)
+}

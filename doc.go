@@ -1,0 +1,10 @@
+// Package harmless is the root of the HARMLESS reproduction: a
+// Go implementation of "HARMLESS: Cost-Effective Transitioning to SDN"
+// (Szalay et al., SIGCOMM 2017 Posters and Demos).
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); runnable entry points are under cmd/ and
+// examples/. The experiment suite reproducing the paper's figure and
+// claims is in experiments_test.go and bench_test.go next to this
+// file; EXPERIMENTS.md records paper-vs-measured results.
+package harmless

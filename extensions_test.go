@@ -1,0 +1,243 @@
+package harmless_test
+
+// Extension experiments beyond the demo's single-switch scope: the
+// enterprise deployment the paper's introduction motivates (several
+// legacy switches migrated under one controller) and failure injection
+// (lossy links, controller loss).
+
+import (
+	"testing"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/controller"
+	"github.com/harmless-sdn/harmless/internal/controller/apps"
+	"github.com/harmless-sdn/harmless/internal/fabric"
+	"github.com/harmless-sdn/harmless/internal/netem"
+)
+
+// TestExtension_MultiSwitchDeployment migrates TWO legacy switches
+// under one controller and verifies connectivity within and across
+// them. The inter-switch uplink is just another migrated access port
+// on each side — HARMLESS needs no special casing for it.
+func TestExtension_MultiSwitchDeployment(t *testing.T) {
+	learning := &apps.Learning{Table: 0}
+	ctrl := controller.New([]controller.App{learning})
+
+	// Switch A: hosts on ports 1,2; port 3 is the uplink; trunk 4.
+	dA, err := fabric.BuildDeployment(fabric.DeployConfig{
+		NumPorts:   4,
+		HostPorts:  []int{1, 2},
+		Hostname:   "edge-a",
+		DatapathID: 0xa,
+		Controller: ctrl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dA.Close()
+	// Switch B: host on port 1; port 3 is the uplink; trunk 4. Hosts
+	// must not collide with A's addressing, so use port 5... but the
+	// 4-port switch tops out at 3, so give B's host port 2 and remap
+	// its identity below via a dedicated host.
+	dB, err := fabric.BuildDeployment(fabric.DeployConfig{
+		NumPorts:   4,
+		HostPorts:  nil, // no auto hosts; we place them manually
+		Hostname:   "edge-b",
+		DatapathID: 0xb,
+		Controller: ctrl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dB.Close()
+	if err := dA.WaitConnected(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := dB.WaitConnected(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// B's hosts with non-colliding addresses on its ports 1 and 2.
+	hostB1 := attachHost(t, dB, 1, 21)
+	_ = attachHost(t, dB, 2, 22)
+
+	// Inter-switch wire: A port 3 <-> B port 3 (both already migrated
+	// access ports).
+	wire := netem.NewLink(netem.LinkConfig{Name: "inter-switch"})
+	defer wire.Close()
+	dA.Legacy.AttachPort(3, wire.A())
+	dB.Legacy.AttachPort(3, wire.B())
+
+	// Intra-switch connectivity on A.
+	if err := dA.Hosts[1].Ping(fabric.HostIP(2), 2*time.Second); err != nil {
+		t.Fatalf("intra-A: %v", err)
+	}
+	// Cross-switch: host on A reaches host on B through two full
+	// HARMLESS chains and the uplink.
+	if err := dA.Hosts[1].Ping(hostB1.IP, 3*time.Second); err != nil {
+		t.Fatalf("cross-switch: %v", err)
+	}
+	if err := hostB1.Ping(fabric.HostIP(1), 3*time.Second); err != nil {
+		t.Fatalf("cross-switch reverse: %v", err)
+	}
+	// Both datapaths saw traffic, and the controller tracked both.
+	if len(ctrl.Switches()) != 2 {
+		t.Errorf("controller tracks %d switches", len(ctrl.Switches()))
+	}
+	lookupsA, _ := dA.S4.SS2.Table(0).Stats()
+	lookupsB, _ := dB.S4.SS2.Table(0).Stats()
+	if lookupsA == 0 || lookupsB == 0 {
+		t.Errorf("pipelines bypassed: A=%d B=%d", lookupsA, lookupsB)
+	}
+	t.Logf("extension: 2 switches, cross-switch path OK (SS_2 lookups A=%d B=%d)", lookupsA, lookupsB)
+}
+
+// attachHost places an extra emulated host on a deployment port that
+// was left unwired.
+func attachHost(t *testing.T, d *fabric.Deployment, port, id int) *fabric.Host {
+	t.Helper()
+	link := netem.NewLink(netem.LinkConfig{})
+	t.Cleanup(link.Close)
+	d.Legacy.AttachPort(port, link.A())
+	return fabric.NewHost("hx", fabric.HostMAC(id), fabric.HostIP(id), link.B())
+}
+
+// TestExtension_LossyTrunk injects 20% frame loss on the trunk and
+// verifies the system degrades gracefully (some pings fail, some
+// succeed, nothing wedges) — the failure-injection check from
+// DESIGN.md.
+func TestExtension_LossyTrunk(t *testing.T) {
+	d, err := fabric.BuildDeployment(fabric.DeployConfig{
+		NumPorts: 4,
+		Apps:     []controller.App{&apps.Learning{Table: 0}},
+		// Loss applies to all links incl. the trunk; seed fixed for
+		// reproducibility.
+		LinkConfig: netem.LinkConfig{LossProb: 0.2, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.WaitConnected(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	okCount, failCount := 0, 0
+	for i := 0; i < 40; i++ {
+		if err := d.Hosts[1].Ping(d.Hosts[2].IP, 150*time.Millisecond); err != nil {
+			failCount++
+		} else {
+			okCount++
+		}
+	}
+	t.Logf("extension: lossy trunk: %d ok, %d lost of 40 pings", okCount, failCount)
+	if okCount == 0 {
+		t.Error("no ping survived 20% loss — pipeline wedged?")
+	}
+	if failCount == 0 {
+		t.Error("no ping failed under 20%% loss — loss not applied?")
+	}
+	// The system still works at full rate once loss is removed:
+	// the host/controller state survived the lossy phase.
+	if err := d.Hosts[3].Ping(d.Hosts[1].IP, 2*time.Second); err != nil {
+		// One attempt may still hit loss on the host links; retry.
+		if err := pingRetry(d.Hosts[3], fabric.HostIP(1), 5); err != nil {
+			t.Errorf("post-loss connectivity: %v", err)
+		}
+	}
+}
+
+// TestExtension_ControllerLossDataplaneSurvives: once flows are
+// installed, killing the controller channel must not stop dataplane
+// forwarding (OpenFlow fail-standalone semantics for installed state).
+func TestExtension_ControllerLossDataplaneSurvives(t *testing.T) {
+	d, err := fabric.BuildDeployment(fabric.DeployConfig{
+		NumPorts: 4,
+		Apps:     []controller.App{&apps.Learning{Table: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.WaitConnected(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Install flows by pinging both ways (twice to cover both dst
+	// flows).
+	for i := 0; i < 2; i++ {
+		if err := d.Hosts[1].Ping(d.Hosts[2].IP, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Hosts[2].Ping(d.Hosts[1].IP, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill the OpenFlow channel.
+	d.S4.Agent().Stop()
+	time.Sleep(20 * time.Millisecond)
+	// Installed flows keep forwarding (no packet-ins possible now).
+	if err := d.Hosts[1].Ping(d.Hosts[2].IP, 2*time.Second); err != nil {
+		t.Fatalf("dataplane died with the controller: %v", err)
+	}
+	t.Log("extension: dataplane survived controller loss with installed flows")
+}
+
+// TestExtension_RateLimiting exercises the OpenFlow meter path end to
+// end: the parental-control app throttles one user's traffic to a
+// fixed packet rate while other users are unaffected.
+func TestExtension_RateLimiting(t *testing.T) {
+	pc := &apps.ParentalControl{Table: 0, NextTable: 1, UplinkPort: 3}
+	learning := &apps.Learning{Table: 1}
+	d, err := fabric.BuildDeployment(fabric.DeployConfig{
+		NumPorts: 4,
+		Apps:     []controller.App{pc, learning},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.WaitConnected(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	user1, user2, sink := d.Hosts[1], d.Hosts[2], d.Hosts[3]
+	// Teach the learning table where the sink lives.
+	if err := user1.Ping(sink.IP, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := user2.Ping(sink.IP, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Throttle user1 to 10 pkt/s (burst 10); user2 unlimited.
+	pc.RateLimitUser(user1.IP, 10)
+	fence(t, d)
+
+	rxBefore, _ := sink.Stats()
+	for i := 0; i < 100; i++ {
+		_ = user1.SendUDP(sink.IP, 1000, 9, []byte("limited"))
+	}
+	for i := 0; i < 100; i++ {
+		_ = user2.SendUDP(sink.IP, 1000, 9, []byte("unlimited"))
+	}
+	time.Sleep(50 * time.Millisecond)
+	rxAfter, _ := sink.Stats()
+	delivered := rxAfter - rxBefore
+	// user2's 100 all arrive; user1's burst allows ~10 (token bucket,
+	// plus whatever refills during the loop).
+	if delivered < 100 || delivered > 130 {
+		t.Errorf("delivered %d frames, want ~110 (100 unlimited + ~10 burst)", delivered)
+	}
+	t.Logf("extension: rate limit delivered %d/200 (user1 throttled to 10 pkt/s)", delivered)
+
+	// Lift the limit: user1 flows freely again.
+	pc.RateLimitUser(user1.IP, 0)
+	fence(t, d)
+	rxBefore, _ = sink.Stats()
+	for i := 0; i < 50; i++ {
+		_ = user1.SendUDP(sink.IP, 1000, 9, []byte("free"))
+	}
+	time.Sleep(50 * time.Millisecond)
+	rxAfter, _ = sink.Stats()
+	if rxAfter-rxBefore < 50 {
+		t.Errorf("after unlimit only %d/50 delivered", rxAfter-rxBefore)
+	}
+}

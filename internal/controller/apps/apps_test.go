@@ -1,0 +1,93 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// End-to-end behaviour of these apps is covered by the controller and
+// root experiment suites; this file unit-tests the pure policy logic.
+
+func TestDMZNormalizePair(t *testing.T) {
+	a, b := pkt.MustIPv4("10.0.0.1"), pkt.MustIPv4("10.0.0.2")
+	if normalizePair(a, b) != normalizePair(b, a) {
+		t.Error("pair not order-independent")
+	}
+	d := &DMZ{}
+	d.Permit(b, a)
+	if !d.Permitted(a, b) {
+		t.Error("permit not symmetric")
+	}
+	d.Revoke(a, b)
+	if d.Permitted(b, a) {
+		t.Error("revoke not symmetric")
+	}
+}
+
+func TestParentalControlSuffixMatch(t *testing.T) {
+	user := pkt.MustIPv4("10.0.0.1")
+	other := pkt.MustIPv4("10.0.0.2")
+	pc := &ParentalControl{}
+	pc.BlockDomain(user, "Videos.Example")
+
+	cases := []struct {
+		who  pkt.IPv4
+		name string
+		want bool
+	}{
+		{user, "videos.example", true},
+		{user, "VIDEOS.EXAMPLE", true},
+		{user, "www.videos.example", true},
+		{user, "deep.cdn.videos.example", true},
+		{user, "notvideos.example", false}, // suffix must be label-aligned
+		{user, "videos.example.evil", false},
+		{user, "other.example", false},
+		{other, "videos.example", false}, // per-user policy
+	}
+	for _, c := range cases {
+		if got := pc.isBlocked(c.who, c.name); got != c.want {
+			t.Errorf("isBlocked(%s, %q) = %v, want %v", c.who, c.name, got, c.want)
+		}
+	}
+	pc.UnblockDomain(user, "videos.example")
+	if pc.isBlocked(user, "videos.example") {
+		t.Error("unblock ignored")
+	}
+}
+
+func TestLoadBalancerPartitioningPredicate(t *testing.T) {
+	mk := func(n int) *LoadBalancer {
+		lb := &LoadBalancer{}
+		for i := 0; i < n; i++ {
+			lb.Backends = append(lb.Backends, Backend{Port: uint32(i + 1)})
+		}
+		return lb
+	}
+	cases := map[int]bool{0: false, 1: true, 2: true, 3: false, 4: true, 6: false, 8: true}
+	for n, want := range cases {
+		if got := mk(n).usesSourcePartitioning(); got != want {
+			t.Errorf("n=%d: %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestBackendName(t *testing.T) {
+	b := Backend{IP: pkt.MustIPv4("10.0.0.5"), Port: 3}
+	if BackendName(b) != "10.0.0.5:3" {
+		t.Errorf("BackendName = %q", BackendName(b))
+	}
+}
+
+func TestLearningLookupEmpty(t *testing.T) {
+	l := &Learning{}
+	if _, ok := l.Lookup(1, pkt.MustMAC("02:00:00:00:00:01")); ok {
+		t.Error("lookup on empty app succeeded")
+	}
+	if len(l.MACTable(1)) != 0 {
+		t.Error("non-empty table")
+	}
+	if l.Name() == "" || (&DMZ{}).Name() == "" || (&ParentalControl{}).Name() == "" || (&LoadBalancer{}).Name() == "" {
+		t.Error("empty app names")
+	}
+}

@@ -1,0 +1,267 @@
+// Package controller implements the SDN controller HARMLESS connects
+// SS_2 to: a small OpenFlow 1.3 controller core (connection handling,
+// handshake, event dispatch, send helpers) plus the network
+// applications the paper demos — an L2 learning switch, the
+// source-IP load balancer, the DMZ access-policy app, and the
+// parental-control app (package apps).
+package controller
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"github.com/harmless-sdn/harmless/internal/openflow"
+)
+
+// App is a controller application. Implementations receive switch
+// lifecycle and asynchronous events; embed BaseApp for no-op defaults.
+type App interface {
+	// Name identifies the app in logs.
+	Name() string
+	// SwitchConnected fires after the handshake; proactive apps
+	// install their flows here.
+	SwitchConnected(sw *SwitchHandle)
+	// PacketIn delivers a packet sent to the controller.
+	PacketIn(sw *SwitchHandle, pi *openflow.PacketIn)
+	// FlowRemoved delivers an expiry/delete notification.
+	FlowRemoved(sw *SwitchHandle, fr *openflow.FlowRemoved)
+	// PortStatus delivers a port change notification.
+	PortStatus(sw *SwitchHandle, ps *openflow.PortStatus)
+}
+
+// BaseApp provides no-op App methods for embedding.
+type BaseApp struct{}
+
+// SwitchConnected implements App.
+func (BaseApp) SwitchConnected(*SwitchHandle) {}
+
+// PacketIn implements App.
+func (BaseApp) PacketIn(*SwitchHandle, *openflow.PacketIn) {}
+
+// FlowRemoved implements App.
+func (BaseApp) FlowRemoved(*SwitchHandle, *openflow.FlowRemoved) {}
+
+// PortStatus implements App.
+func (BaseApp) PortStatus(*SwitchHandle, *openflow.PortStatus) {}
+
+// SwitchHandle is the controller's view of one connected switch.
+type SwitchHandle struct {
+	conn     *openflow.Conn
+	features *openflow.FeaturesReply
+
+	mu   sync.Mutex
+	data map[string]any // per-switch app state, keyed by app name
+}
+
+// DPID returns the switch's datapath id.
+func (h *SwitchHandle) DPID() uint64 { return h.features.DatapathID }
+
+// Features returns the handshake features.
+func (h *SwitchHandle) Features() *openflow.FeaturesReply { return h.features }
+
+// Send transmits any message to the switch.
+func (h *SwitchHandle) Send(m openflow.Message) error { return h.conn.Send(m) }
+
+// FlowMod sends a flow-mod.
+func (h *SwitchHandle) FlowMod(fm *openflow.FlowMod) error {
+	if fm.BufferID == 0 {
+		fm.BufferID = openflow.NoBuffer
+	}
+	if fm.OutPort == 0 {
+		fm.OutPort = openflow.PortAny
+	}
+	if fm.OutGroup == 0 {
+		fm.OutGroup = openflow.GroupAny
+	}
+	return h.conn.Send(fm)
+}
+
+// InstallFlow is the common proactive install helper.
+func (h *SwitchHandle) InstallFlow(table uint8, priority uint16, match openflow.Match, instrs ...openflow.Instruction) error {
+	return h.FlowMod(&openflow.FlowMod{
+		TableID: table, Command: openflow.FlowAdd, Priority: priority,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortAny, OutGroup: openflow.GroupAny,
+		Match: match, Instructions: instrs,
+	})
+}
+
+// InstallTableMiss installs the priority-0 send-to-controller entry.
+func (h *SwitchHandle) InstallTableMiss(table uint8) error {
+	return h.InstallFlow(table, 0, openflow.Match{},
+		&openflow.InstrApplyActions{Actions: []openflow.Action{
+			&openflow.ActionOutput{Port: openflow.PortController, MaxLen: 0xffff},
+		}})
+}
+
+// InstallGotoMiss installs a priority-0 goto-table entry (pipeline
+// chaining between apps).
+func (h *SwitchHandle) InstallGotoMiss(table, next uint8) error {
+	return h.InstallFlow(table, 0, openflow.Match{}, &openflow.InstrGotoTable{TableID: next})
+}
+
+// PacketOut injects a frame into the switch.
+func (h *SwitchHandle) PacketOut(inPort uint32, data []byte, actions ...openflow.Action) error {
+	return h.conn.Send(&openflow.PacketOut{
+		BufferID: openflow.NoBuffer, InPort: inPort, Actions: actions, Data: data,
+	})
+}
+
+// FloodPacket floods a frame from inPort.
+func (h *SwitchHandle) FloodPacket(inPort uint32, data []byte) error {
+	return h.PacketOut(inPort, data, &openflow.ActionOutput{Port: openflow.PortFlood, MaxLen: 0xffff})
+}
+
+// AppData returns per-switch storage for an app, creating it with
+// init on first use.
+func (h *SwitchHandle) AppData(app string, init func() any) any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v, ok := h.data[app]; ok {
+		return v
+	}
+	v := init()
+	h.data[app] = v
+	return v
+}
+
+// Barrier sends a barrier request (the reply is consumed by the event
+// loop; this is a write-side ordering fence).
+func (h *SwitchHandle) Barrier() error {
+	return h.conn.Send(&openflow.BarrierRequest{})
+}
+
+// Controller is the OpenFlow controller core.
+type Controller struct {
+	apps []App
+	log  *log.Logger
+
+	mu       sync.Mutex
+	switches map[uint64]*SwitchHandle
+}
+
+// Option configures the controller.
+type Option func(*Controller)
+
+// WithLogger directs controller diagnostics to l.
+func WithLogger(l *log.Logger) Option { return func(c *Controller) { c.log = l } }
+
+// New creates a controller running the given apps. Event dispatch
+// order follows the app order (filters first, forwarding last).
+func New(apps []App, opts ...Option) *Controller {
+	c := &Controller{
+		apps:     apps,
+		switches: make(map[uint64]*SwitchHandle),
+		log:      log.New(io.Discard, "", 0),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Serve accepts switch connections on l until it closes.
+func (c *Controller) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			if _, err := c.AttachConn(conn); err != nil {
+				c.log.Printf("controller: attach: %v", err)
+			}
+		}()
+	}
+}
+
+// AttachConn runs the handshake on an established transport and
+// starts the event loop. It returns once the handshake is complete.
+func (c *Controller) AttachConn(rw io.ReadWriteCloser) (*SwitchHandle, error) {
+	conn := openflow.NewConn(rw)
+	h := &SwitchHandle{conn: conn, data: make(map[string]any)}
+	var early []openflow.Message
+	features, err := conn.Handshake(func(m openflow.Message) { early = append(early, m) })
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("controller: handshake: %w", err)
+	}
+	h.features = features
+	c.mu.Lock()
+	c.switches[features.DatapathID] = h
+	c.mu.Unlock()
+	c.log.Printf("controller: switch %#x connected (%d tables)", features.DatapathID, features.NTables)
+
+	for _, app := range c.apps {
+		app.SwitchConnected(h)
+	}
+	for _, m := range early {
+		c.dispatch(h, m)
+	}
+	go c.eventLoop(h)
+	return h, nil
+}
+
+// Switch returns the handle for a datapath id.
+func (c *Controller) Switch(dpid uint64) (*SwitchHandle, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.switches[dpid]
+	return h, ok
+}
+
+// Switches returns all connected switch handles.
+func (c *Controller) Switches() []*SwitchHandle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*SwitchHandle, 0, len(c.switches))
+	for _, h := range c.switches {
+		out = append(out, h)
+	}
+	return out
+}
+
+func (c *Controller) eventLoop(h *SwitchHandle) {
+	defer func() {
+		h.conn.Close()
+		c.mu.Lock()
+		if c.switches[h.DPID()] == h {
+			delete(c.switches, h.DPID())
+		}
+		c.mu.Unlock()
+	}()
+	for {
+		m, err := h.conn.Recv()
+		if err != nil {
+			c.log.Printf("controller: switch %#x disconnected: %v", h.DPID(), err)
+			return
+		}
+		c.dispatch(h, m)
+	}
+}
+
+func (c *Controller) dispatch(h *SwitchHandle, m openflow.Message) {
+	switch t := m.(type) {
+	case *openflow.EchoRequest:
+		_ = h.conn.Send(&openflow.EchoReply{Data: t.Data})
+	case *openflow.PacketIn:
+		for _, app := range c.apps {
+			app.PacketIn(h, t)
+		}
+	case *openflow.FlowRemoved:
+		for _, app := range c.apps {
+			app.FlowRemoved(h, t)
+		}
+	case *openflow.PortStatus:
+		for _, app := range c.apps {
+			app.PortStatus(h, t)
+		}
+	case *openflow.Error:
+		c.log.Printf("controller: switch %#x error: %v", h.DPID(), t)
+	case *openflow.BarrierReply, *openflow.MultipartReply, *openflow.EchoReply, *openflow.Hello:
+		// Consumed silently; synchronous readers are not supported in
+		// the event loop (use ofctl for interactive stats).
+	}
+}

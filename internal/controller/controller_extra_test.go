@@ -1,0 +1,143 @@
+package controller_test
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/controller"
+	"github.com/harmless-sdn/harmless/internal/controller/apps"
+	"github.com/harmless-sdn/harmless/internal/netem"
+	"github.com/harmless-sdn/harmless/internal/openflow"
+	"github.com/harmless-sdn/harmless/internal/softswitch"
+)
+
+// recorderApp counts events for dispatch tests.
+type recorderApp struct {
+	controller.BaseApp
+	flowRemoved atomic.Int32
+	portStatus  atomic.Int32
+	connected   atomic.Int32
+}
+
+func (r *recorderApp) Name() string { return "recorder" }
+
+func (r *recorderApp) SwitchConnected(*controller.SwitchHandle) { r.connected.Add(1) }
+
+func (r *recorderApp) FlowRemoved(*controller.SwitchHandle, *openflow.FlowRemoved) {
+	r.flowRemoved.Add(1)
+}
+
+func (r *recorderApp) PortStatus(*controller.SwitchHandle, *openflow.PortStatus) {
+	r.portStatus.Add(1)
+}
+
+func TestFlowRemovedDispatch(t *testing.T) {
+	clk := netem.NewManualClock()
+	rec := &recorderApp{}
+	sw := softswitch.New("fr-sw", 0x55, softswitch.WithClock(clk))
+	c1, c2 := net.Pipe()
+	agent := sw.StartAgent(c2, 0)
+	defer agent.Stop()
+	ctrl := controller.New([]controller.App{rec})
+	h, err := ctrl.AttachConn(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.connected.Load() != 1 {
+		t.Fatal("SwitchConnected not dispatched")
+	}
+	m := openflow.Match{}
+	m.WithInPort(1)
+	err = h.FlowMod(&openflow.FlowMod{
+		TableID: 0, Command: openflow.FlowAdd, Priority: 5, IdleTimeout: 3,
+		Flags: openflow.FlowFlagSendFlowRem,
+		Match: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = h.Barrier()
+	waitFor(t, "flow installed", func() bool { return sw.Table(0).Len() == 1 })
+	clk.Advance(5 * time.Second)
+	sw.SweepExpired()
+	waitFor(t, "flow removed dispatch", func() bool { return rec.flowRemoved.Load() == 1 })
+}
+
+func TestPortStatusDispatch(t *testing.T) {
+	rec := &recorderApp{}
+	sw := softswitch.New("ps-sw", 0x56)
+	c1, c2 := net.Pipe()
+	agent := sw.StartAgent(c2, 0)
+	defer agent.Stop()
+	ctrl := controller.New([]controller.App{rec})
+	if _, err := ctrl.AttachConn(c1); err != nil {
+		t.Fatal(err)
+	}
+	// Attaching a port after connection emits PORT_STATUS.
+	l := netem.NewLink(netem.LinkConfig{})
+	defer l.Close()
+	sw.AttachNetPort(7, "late-port", l.A())
+	waitFor(t, "port status dispatch", func() bool { return rec.portStatus.Load() == 1 })
+}
+
+// TestControllerReconnect verifies a switch can drop its channel and
+// attach to a fresh controller (failover).
+func TestControllerReconnect(t *testing.T) {
+	learning := &apps.Learning{Table: 0}
+	sw := softswitch.New("rc-sw", 0x57)
+	l := netem.NewLink(netem.LinkConfig{})
+	defer l.Close()
+	sw.AttachNetPort(1, "p1", l.A())
+
+	c1, c2 := net.Pipe()
+	agent := sw.StartAgent(c2, 0)
+	ctrl1 := controller.New([]controller.App{learning})
+	if _, err := ctrl1.AttachConn(c1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first miss entry", func() bool { return sw.Table(0).Len() == 1 })
+
+	// Drop the channel; the controller must forget the switch.
+	agent.Stop()
+	waitFor(t, "controller cleanup", func() bool {
+		_, ok := ctrl1.Switch(0x57)
+		return !ok
+	})
+
+	// Attach to a second controller.
+	ctrl2 := controller.New([]controller.App{&apps.Learning{Table: 0}})
+	d1, d2 := net.Pipe()
+	agent2 := sw.StartAgent(d2, 0)
+	defer agent2.Stop()
+	if _, err := ctrl2.AttachConn(d1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "re-registration", func() bool {
+		_, ok := ctrl2.Switch(0x57)
+		return ok
+	})
+}
+
+// TestLearningPortStatusFlushesState unit-tests the app-level flush
+// that makes incremental migration safe.
+func TestLearningPortStatusFlushesState(t *testing.T) {
+	learning := &apps.Learning{Table: 0}
+	r := newRig(t, 2, []controller.App{learning})
+
+	// Learn both hosts.
+	r.inject(t, 1, udpFrame(t, mac1, mac2, ip1, ip2, 1, 2, "x"))
+	r.inject(t, 2, udpFrame(t, mac2, mac1, ip2, ip1, 2, 1, "y"))
+	waitFor(t, "learning", func() bool { return len(learning.MACTable(0x42)) == 2 })
+	waitFor(t, "flows", func() bool { return r.sw.Table(0).Len() >= 2 })
+
+	// A topology change must flush the table back to just the miss
+	// entry and clear the app FDB.
+	link := netem.NewLink(netem.LinkConfig{})
+	defer link.Close()
+	r.sw.AttachNetPort(9, "new", link.A())
+	waitFor(t, "flush", func() bool {
+		return len(learning.MACTable(0x42)) == 0 && r.sw.Table(0).Len() == 1
+	})
+}

@@ -1,0 +1,220 @@
+// Package cost implements the capital-expenditure model behind the
+// paper's title claim ("Cost-Effective Transitioning to SDN"): given a
+// catalog of street prices, it compares the per-SDN-port cost of the
+// three migration strategies the introduction discusses —
+//
+//	RipAndReplace: swap every legacy switch for a COTS OpenFlow switch
+//	               (the "full-blown SDN overnight" option).
+//	PureSoftware:  serve all ports from commodity servers running
+//	               software switches (port density limited by the
+//	               blade form factor, as §1 notes).
+//	HARMLESS:      keep the installed legacy switches and add one
+//	               commodity server per switch.
+//
+// Prices are parameters, not conclusions: DefaultCatalog2017 encodes
+// typical 2017 street prices so the experiment (E4) reproduces the
+// paper-era shape, and any catalog can be swapped in.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Catalog lists unit prices (USD) and capacities.
+type Catalog struct {
+	// COTSSDNSwitchPrice per device.
+	COTSSDNSwitchPrice float64
+	// COTSSDNSwitchPorts usable access ports per device.
+	COTSSDNSwitchPorts int
+	// ServerPrice per commodity server (incl. NICs) able to run the
+	// software switch at line rate.
+	ServerPrice float64
+	// ServerPorts is the maximum access ports one server can offer
+	// directly (blade form-factor limit).
+	ServerPorts int
+	// LegacySwitchPrice per device (counted only in greenfield
+	// scenarios; migrations treat installed gear as sunk).
+	LegacySwitchPrice float64
+	// LegacySwitchPorts usable access ports per legacy device (one
+	// port is consumed as the HARMLESS trunk).
+	LegacySwitchPorts int
+	// TrunkOversubscription is the access:trunk bandwidth ratio a
+	// deployment accepts; it does not change CAPEX but is reported.
+	TrunkOversubscription float64
+}
+
+// DefaultCatalog2017 approximates 2017 street prices: a 48-port COTS
+// OpenFlow switch around $10k (hardware plus NOS license), a dual-
+// socket server with multi-queue NICs around $2.5k, and a managed
+// 24-port GbE legacy switch around $800.
+func DefaultCatalog2017() Catalog {
+	return Catalog{
+		COTSSDNSwitchPrice:    10000,
+		COTSSDNSwitchPorts:    48,
+		ServerPrice:           2500,
+		ServerPorts:           8,
+		LegacySwitchPrice:     800,
+		LegacySwitchPorts:     23, // 24 ports, one becomes the trunk
+		TrunkOversubscription: 23.0,
+	}
+}
+
+// Strategy identifies a migration approach.
+type Strategy string
+
+// The compared strategies.
+const (
+	RipAndReplace Strategy = "rip-and-replace"
+	PureSoftware  Strategy = "pure-software"
+	HARMLESS      Strategy = "harmless"
+)
+
+// Breakdown is the cost result for one strategy at one port count.
+type Breakdown struct {
+	Strategy Strategy
+	Ports    int
+	// Items maps device kind to (count, unit price).
+	Items map[string]Item
+	// Total CAPEX.
+	Total float64
+	// PerPort = Total / Ports.
+	PerPort float64
+	// Greenfield marks whether legacy gear was purchased (vs. sunk).
+	Greenfield bool
+}
+
+// Item is one line of a breakdown.
+type Item struct {
+	Count     int
+	UnitPrice float64
+}
+
+// Cost computes the breakdown for a strategy serving ports access
+// ports. greenfield=true prices legacy hardware in (a from-scratch
+// build); false treats installed legacy switches as sunk cost (the
+// migration scenario of the paper).
+func (c Catalog) Cost(s Strategy, ports int, greenfield bool) (Breakdown, error) {
+	if ports <= 0 {
+		return Breakdown{}, fmt.Errorf("cost: ports must be positive, got %d", ports)
+	}
+	b := Breakdown{Strategy: s, Ports: ports, Items: map[string]Item{}, Greenfield: greenfield}
+	switch s {
+	case RipAndReplace:
+		n := ceilDiv(ports, c.COTSSDNSwitchPorts)
+		b.Items["cots-sdn-switch"] = Item{Count: n, UnitPrice: c.COTSSDNSwitchPrice}
+	case PureSoftware:
+		n := ceilDiv(ports, c.ServerPorts)
+		b.Items["server"] = Item{Count: n, UnitPrice: c.ServerPrice}
+	case HARMLESS:
+		nLegacy := ceilDiv(ports, c.LegacySwitchPorts)
+		if greenfield {
+			b.Items["legacy-switch"] = Item{Count: nLegacy, UnitPrice: c.LegacySwitchPrice}
+		} else {
+			b.Items["legacy-switch (sunk)"] = Item{Count: nLegacy, UnitPrice: 0}
+		}
+		b.Items["server"] = Item{Count: nLegacy, UnitPrice: c.ServerPrice}
+	default:
+		return Breakdown{}, fmt.Errorf("cost: unknown strategy %q", s)
+	}
+	for _, it := range b.Items {
+		b.Total += float64(it.Count) * it.UnitPrice
+	}
+	b.PerPort = b.Total / float64(ports)
+	return b, nil
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// SweepRow is one port count across all strategies.
+type SweepRow struct {
+	Ports         int
+	RipAndReplace Breakdown
+	PureSoftware  Breakdown
+	HARMLESS      Breakdown
+	// Cheapest strategy at this scale.
+	Winner Strategy
+	// SavingsVsCOTS = 1 - harmless/ripAndReplace.
+	SavingsVsCOTS float64
+}
+
+// Sweep computes all strategies over the given port counts.
+func (c Catalog) Sweep(portCounts []int, greenfield bool) ([]SweepRow, error) {
+	rows := make([]SweepRow, 0, len(portCounts))
+	for _, p := range portCounts {
+		rr, err := c.Cost(RipAndReplace, p, greenfield)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := c.Cost(PureSoftware, p, greenfield)
+		if err != nil {
+			return nil, err
+		}
+		hl, err := c.Cost(HARMLESS, p, greenfield)
+		if err != nil {
+			return nil, err
+		}
+		row := SweepRow{Ports: p, RipAndReplace: rr, PureSoftware: ps, HARMLESS: hl}
+		row.Winner = HARMLESS
+		best := hl.Total
+		if ps.Total < best {
+			row.Winner, best = PureSoftware, ps.Total
+		}
+		if rr.Total < best {
+			row.Winner = RipAndReplace
+		}
+		if rr.Total > 0 {
+			row.SavingsVsCOTS = 1 - hl.Total/rr.Total
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BreakEvenServerPrice returns the server price at which HARMLESS
+// stops being cheaper than rip-and-replace for the given port count
+// (sensitivity analysis).
+func (c Catalog) BreakEvenServerPrice(ports int) float64 {
+	nLegacy := ceilDiv(ports, c.LegacySwitchPorts)
+	nCOTS := ceilDiv(ports, c.COTSSDNSwitchPorts)
+	if nLegacy == 0 {
+		return math.Inf(1)
+	}
+	return float64(nCOTS) * c.COTSSDNSwitchPrice / float64(nLegacy)
+}
+
+// FormatTable renders a sweep as the E4 text table.
+func FormatTable(rows []SweepRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-14s %-14s %-14s %-10s %-8s\n",
+		"ports", "rip&replace", "pure-soft", "harmless", "$/port(H)", "winner")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8d $%-13.0f $%-13.0f $%-13.0f $%-9.2f %-8s\n",
+			r.Ports, r.RipAndReplace.Total, r.PureSoftware.Total, r.HARMLESS.Total,
+			r.HARMLESS.PerPort, r.Winner)
+	}
+	return sb.String()
+}
+
+// String renders a breakdown.
+func (b Breakdown) String() string {
+	kinds := make([]string, 0, len(b.Items))
+	for k := range b.Items {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s @ %d ports: total $%.0f ($%.2f/port)", b.Strategy, b.Ports, b.Total, b.PerPort)
+	for _, k := range kinds {
+		it := b.Items[k]
+		fmt.Fprintf(&sb, "; %dx %s @ $%.0f", it.Count, k, it.UnitPrice)
+	}
+	return sb.String()
+}

@@ -1,0 +1,146 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostBasics(t *testing.T) {
+	c := DefaultCatalog2017()
+	// 24 ports: 1 COTS switch vs 3 servers vs 2 legacy+2 servers.
+	rr, err := c.Cost(RipAndReplace, 24, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Total != 10000 {
+		t.Errorf("rip&replace: %v", rr)
+	}
+	ps, err := c.Cost(PureSoftware, 24, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Items["server"].Count != 3 || ps.Total != 7500 {
+		t.Errorf("pure software: %v", ps)
+	}
+	hl, err := c.Cost(HARMLESS, 24, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 ports / 23 usable per legacy = 2 switches (sunk) + 2 servers.
+	if hl.Items["server"].Count != 2 || hl.Total != 5000 {
+		t.Errorf("harmless: %v", hl)
+	}
+	if hl.PerPort >= rr.PerPort {
+		t.Errorf("HARMLESS per-port $%.2f not below COTS $%.2f", hl.PerPort, rr.PerPort)
+	}
+	if hl.String() == "" || rr.String() == "" {
+		t.Error("empty breakdown strings")
+	}
+}
+
+func TestCostGreenfieldChargesLegacy(t *testing.T) {
+	c := DefaultCatalog2017()
+	sunk, _ := c.Cost(HARMLESS, 46, false)
+	green, _ := c.Cost(HARMLESS, 46, true)
+	if green.Total != sunk.Total+2*c.LegacySwitchPrice {
+		t.Errorf("greenfield %v vs sunk %v", green.Total, sunk.Total)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	c := DefaultCatalog2017()
+	if _, err := c.Cost(HARMLESS, 0, false); err == nil {
+		t.Error("0 ports accepted")
+	}
+	if _, err := c.Cost(Strategy("bogus"), 8, false); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	c := DefaultCatalog2017()
+	rows, err := c.Sweep([]int{8, 24, 48, 96, 192, 384}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// The paper-era shape: HARMLESS (sunk legacy) is the cheapest at
+	// every scale and always saves money vs COTS; the saving depends
+	// on how port counts align with device sizes (25%..75% here), so
+	// assert positivity everywhere and a substantial mean.
+	var meanSavings float64
+	for _, r := range rows {
+		if r.Winner != HARMLESS {
+			t.Errorf("at %d ports winner is %s", r.Ports, r.Winner)
+		}
+		if r.SavingsVsCOTS <= 0 {
+			t.Errorf("at %d ports HARMLESS not cheaper (savings %.0f%%)", r.Ports, r.SavingsVsCOTS*100)
+		}
+		meanSavings += r.SavingsVsCOTS
+	}
+	meanSavings /= float64(len(rows))
+	if meanSavings < 0.3 {
+		t.Errorf("mean savings %.0f%%, want >= 30%%", meanSavings*100)
+	}
+	// Monotone non-decreasing totals with port count.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].HARMLESS.Total < rows[i-1].HARMLESS.Total {
+			t.Error("HARMLESS total decreased with more ports")
+		}
+	}
+	table := FormatTable(rows)
+	if !strings.Contains(table, "harmless") || !strings.Contains(table, "384") {
+		t.Errorf("table:\n%s", table)
+	}
+}
+
+func TestPerPortProperty(t *testing.T) {
+	c := DefaultCatalog2017()
+	f := func(ports uint16) bool {
+		p := int(ports%1000) + 1
+		for _, s := range []Strategy{RipAndReplace, PureSoftware, HARMLESS} {
+			b, err := c.Cost(s, p, false)
+			if err != nil {
+				return false
+			}
+			if math.Abs(b.PerPort*float64(p)-b.Total) > 1e-6 {
+				return false
+			}
+			if b.Total < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakEvenServerPrice(t *testing.T) {
+	c := DefaultCatalog2017()
+	be := c.BreakEvenServerPrice(48)
+	// 48 ports: 1 COTS ($10k) vs ceil(48/23)=3 servers; break-even at
+	// 10000/3.
+	want := 10000.0 / 3
+	if math.Abs(be-want) > 1e-9 {
+		t.Errorf("break-even %f, want %f", be, want)
+	}
+	// Current server price is below break-even, hence the savings.
+	if c.ServerPrice >= be {
+		t.Error("default catalog should sit below break-even")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := [][3]int{{1, 8, 1}, {8, 8, 1}, {9, 8, 2}, {0, 8, 0}, {5, 0, 0}}
+	for _, c := range cases {
+		if got := ceilDiv(c[0], c[1]); got != c[2] {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// tcpLite is a minimal TCP implementation sufficient for the demo's
+// web traffic: three-way handshake, one request segment, one response
+// segment, FIN teardown. It is NOT a general transport (no
+// retransmission, no windows, single-segment payloads) — the emulated
+// fabric is lossless unless an experiment injects loss, in which case
+// the experiment measures exactly that loss.
+type tcpLite struct {
+	host *Host
+
+	mu        sync.Mutex
+	listeners map[uint16]func(req []byte) []byte
+	conns     map[tcpKey]*tcpConn
+}
+
+type tcpKey struct {
+	peer      pkt.IPv4
+	peerPort  uint16
+	localPort uint16
+}
+
+type tcpState int
+
+const (
+	tcpSynSent tcpState = iota
+	tcpSynReceived
+	tcpEstablished
+	tcpClosed
+)
+
+type tcpConn struct {
+	state    tcpState
+	sndNxt   uint32 // next sequence we will send
+	rcvNxt   uint32 // next sequence we expect
+	peerMAC  pkt.MAC
+	synAckCh chan struct{} // client: handshake complete
+	dataCh   chan []byte   // client: response payload
+}
+
+func newTCPLite(h *Host) *tcpLite {
+	return &tcpLite{
+		host:      h,
+		listeners: make(map[uint16]func([]byte) []byte),
+		conns:     make(map[tcpKey]*tcpConn),
+	}
+}
+
+// ServeTCP registers a request handler for a local port. The handler
+// receives the request payload and returns the response payload.
+func (h *Host) ServeTCP(port uint16, handler func(req []byte) []byte) {
+	h.tcp.mu.Lock()
+	h.tcp.listeners[port] = handler
+	h.tcp.mu.Unlock()
+}
+
+// GetTCP opens a connection to dst:port, sends request, and returns
+// the single-segment response (the demo's HTTP-lite GET).
+func (h *Host) GetTCP(dst pkt.IPv4, port uint16, request []byte, timeout time.Duration) ([]byte, error) {
+	mac, err := h.Resolve(dst, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sport := uint16(30000 + rand.Intn(30000))
+	key := tcpKey{peer: dst, peerPort: port, localPort: sport}
+	conn := &tcpConn{
+		state:    tcpSynSent,
+		sndNxt:   uint32(rand.Intn(1 << 30)),
+		peerMAC:  mac,
+		synAckCh: make(chan struct{}, 1),
+		dataCh:   make(chan []byte, 1),
+	}
+	h.tcp.mu.Lock()
+	h.tcp.conns[key] = conn
+	h.tcp.mu.Unlock()
+	defer func() {
+		h.tcp.mu.Lock()
+		delete(h.tcp.conns, key)
+		h.tcp.mu.Unlock()
+	}()
+
+	// SYN.
+	iss := conn.sndNxt
+	h.tcp.sendSegment(mac, dst, sport, port, iss, 0, pkt.TCPSyn, nil)
+	conn.sndNxt = iss + 1
+	select {
+	case <-conn.synAckCh:
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("fabric: TCP connect %s:%d: %w", dst, port, ErrTimeout)
+	}
+	// ACK + request (piggybacked).
+	h.tcp.mu.Lock()
+	seq, ack := conn.sndNxt, conn.rcvNxt
+	h.tcp.mu.Unlock()
+	h.tcp.sendSegment(mac, dst, sport, port, seq, ack, pkt.TCPAck|pkt.TCPPsh, request)
+	h.tcp.mu.Lock()
+	conn.sndNxt += uint32(len(request))
+	h.tcp.mu.Unlock()
+
+	select {
+	case resp := <-conn.dataCh:
+		return resp, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("fabric: TCP response %s:%d: %w", dst, port, ErrTimeout)
+	}
+}
+
+// handle processes an inbound TCP segment.
+func (t *tcpLite) handle(p *pkt.Packet, ip *pkt.IPv4Header, eth *pkt.Ethernet) {
+	tcp := p.TCP()
+	key := tcpKey{peer: ip.Src, peerPort: tcp.SrcPort, localPort: tcp.DstPort}
+
+	t.mu.Lock()
+	conn := t.conns[key]
+	listener := t.listeners[tcp.DstPort]
+	t.mu.Unlock()
+
+	payload := tcp.LayerPayload()
+	switch {
+	case conn == nil && listener != nil && tcp.Flags&pkt.TCPSyn != 0 && tcp.Flags&pkt.TCPAck == 0:
+		// Passive open: answer SYN/ACK.
+		c := &tcpConn{
+			state:   tcpSynReceived,
+			sndNxt:  uint32(rand.Intn(1 << 30)),
+			rcvNxt:  tcp.Seq + 1,
+			peerMAC: eth.Src,
+		}
+		t.mu.Lock()
+		t.conns[key] = c
+		t.mu.Unlock()
+		iss := c.sndNxt
+		t.sendSegment(eth.Src, ip.Src, tcp.DstPort, tcp.SrcPort, iss, c.rcvNxt, pkt.TCPSyn|pkt.TCPAck, nil)
+		t.mu.Lock()
+		c.sndNxt = iss + 1
+		t.mu.Unlock()
+
+	case conn != nil && conn.state == tcpSynSent && tcp.Flags&(pkt.TCPSyn|pkt.TCPAck) == pkt.TCPSyn|pkt.TCPAck:
+		// Active open completing.
+		t.mu.Lock()
+		conn.rcvNxt = tcp.Seq + 1
+		conn.state = tcpEstablished
+		t.mu.Unlock()
+		conn.synAckCh <- struct{}{}
+
+	case conn != nil && conn.state == tcpSynReceived && len(payload) > 0:
+		// Server receives the request; respond and close.
+		t.mu.Lock()
+		conn.state = tcpEstablished
+		conn.rcvNxt = tcp.Seq + uint32(len(payload))
+		seq, ack := conn.sndNxt, conn.rcvNxt
+		t.mu.Unlock()
+		var resp []byte
+		if listener != nil {
+			resp = listener(append([]byte{}, payload...))
+		}
+		t.sendSegment(eth.Src, ip.Src, tcp.DstPort, tcp.SrcPort, seq, ack, pkt.TCPAck|pkt.TCPPsh|pkt.TCPFin, resp)
+		t.mu.Lock()
+		conn.sndNxt += uint32(len(resp)) + 1 // +1 for FIN
+		conn.state = tcpClosed
+		t.mu.Unlock()
+
+	case conn != nil && len(payload) > 0 && conn.dataCh != nil:
+		// Client receives the response.
+		t.mu.Lock()
+		conn.rcvNxt = tcp.Seq + uint32(len(payload))
+		if tcp.Flags&pkt.TCPFin != 0 {
+			conn.rcvNxt++
+		}
+		seq, ack := conn.sndNxt, conn.rcvNxt
+		t.mu.Unlock()
+		// ACK everything (incl. FIN).
+		t.sendSegment(eth.Src, ip.Src, tcp.DstPort, tcp.SrcPort, seq, ack, pkt.TCPAck, nil)
+		select {
+		case conn.dataCh <- append([]byte{}, payload...):
+		default:
+		}
+
+	case conn != nil && tcp.Flags&pkt.TCPFin != 0:
+		// Bare FIN: ACK it.
+		t.mu.Lock()
+		conn.rcvNxt = tcp.Seq + 1
+		seq, ack := conn.sndNxt, conn.rcvNxt
+		t.mu.Unlock()
+		t.sendSegment(eth.Src, ip.Src, tcp.DstPort, tcp.SrcPort, seq, ack, pkt.TCPAck, nil)
+	}
+}
+
+// sendSegment emits one TCP segment.
+func (t *tcpLite) sendSegment(dstMAC pkt.MAC, dst pkt.IPv4, sport, dport uint16, seq, ack uint32, flags uint8, payload []byte) {
+	pl := pkt.Payload(payload)
+	frame, err := pkt.Serialize(
+		&pkt.Ethernet{Src: t.host.MAC, Dst: dstMAC, EtherType: pkt.EtherTypeIPv4},
+		&pkt.IPv4Header{TTL: 64, Protocol: pkt.IPProtoTCP, Src: t.host.IP, Dst: dst},
+		&pkt.TCP{SrcPort: sport, DstPort: dport, Seq: seq, Ack: ack, Flags: flags, Window: 65535},
+		&pl,
+	)
+	if err != nil {
+		return
+	}
+	t.host.send(frame)
+}

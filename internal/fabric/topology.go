@@ -1,0 +1,190 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/controller"
+	"github.com/harmless-sdn/harmless/internal/harmless"
+	"github.com/harmless-sdn/harmless/internal/legacy"
+	"github.com/harmless-sdn/harmless/internal/mgmt"
+	"github.com/harmless-sdn/harmless/internal/netem"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// Deployment is a fully assembled HARMLESS testbed: the Fig. 1
+// topology with an arbitrary number of hosts.
+//
+//	host[i] --- legacy switch ---(trunk)--- SS_1 ===patch=== SS_2 --- controller
+type Deployment struct {
+	Legacy    *legacy.Switch
+	CLI       *legacy.CLIServer
+	Manager   *harmless.Manager
+	S4        *harmless.S4
+	Ctrl      *controller.Controller
+	Hosts     map[int]*Host // keyed by legacy access port
+	Links     []*netem.Link
+	TrunkLink *netem.Link
+}
+
+// DeployConfig parameterizes BuildDeployment.
+type DeployConfig struct {
+	// NumPorts on the legacy switch (trunk is the highest port).
+	NumPorts int
+	// HostPorts: access ports that get an emulated host (default: all
+	// access ports). Host on port p gets IP 10.0.0.p and a stable MAC.
+	HostPorts []int
+	// AccessPorts passed to the manager (nil = all but trunk).
+	AccessPorts []int
+	// Apps to run on the controller.
+	Apps []controller.App
+	// Dialect of the legacy switch CLI.
+	Dialect legacy.Dialect
+	// Specialize enables the compiled fast path on SS_1/SS_2.
+	Specialize bool
+	// LinkConfig template for the host and trunk links (Name is
+	// overridden per link).
+	LinkConfig netem.LinkConfig
+	// SweepInterval for SS_2 flow expiry (0 = disabled).
+	SweepInterval time.Duration
+	// Clock injection.
+	Clock netem.Clock
+	// DatapathID for SS_2 (0 = package default). Must be unique when
+	// several deployments share one controller.
+	DatapathID uint64
+	// Hostname for the legacy switch (default "legacy-sw").
+	Hostname string
+	// Controller reuses an existing controller instead of creating
+	// one (multi-switch deployments); Apps is ignored when set.
+	Controller *controller.Controller
+}
+
+// HostMAC returns the deterministic MAC used for the host on an access
+// port.
+func HostMAC(port int) pkt.MAC {
+	return pkt.MAC{0x02, 0xaa, 0, 0, 0, byte(port)}
+}
+
+// HostIP returns the deterministic IP used for the host on an access
+// port.
+func HostIP(port int) pkt.IPv4 { return pkt.IPv4{10, 0, 0, byte(port)} }
+
+// BuildDeployment assembles the complete testbed and runs the manager
+// end to end (CLI-driver configuration, S4 bring-up, controller
+// connection over an in-memory pipe).
+func BuildDeployment(cfg DeployConfig) (*Deployment, error) {
+	if cfg.NumPorts < 2 {
+		return nil, fmt.Errorf("fabric: need >= 2 ports")
+	}
+	d := &Deployment{Hosts: make(map[int]*Host)}
+	var opts []legacy.Option
+	if cfg.Clock != nil {
+		opts = append(opts, legacy.WithClock(cfg.Clock))
+	}
+	hostname := cfg.Hostname
+	if hostname == "" {
+		hostname = "legacy-sw"
+	}
+	d.Legacy = legacy.NewSwitch(hostname, cfg.NumPorts, opts...)
+	d.CLI = legacy.NewCLIServer(d.Legacy, cfg.Dialect)
+
+	trunkPort := cfg.NumPorts
+
+	// Hosts.
+	hostPorts := cfg.HostPorts
+	if hostPorts == nil {
+		for p := 1; p < cfg.NumPorts; p++ {
+			hostPorts = append(hostPorts, p)
+		}
+	}
+	for _, p := range hostPorts {
+		if p == trunkPort {
+			return nil, fmt.Errorf("fabric: host port %d is the trunk", p)
+		}
+		lc := cfg.LinkConfig
+		lc.Name = fmt.Sprintf("host%d", p)
+		link := netem.NewLink(lc)
+		d.Links = append(d.Links, link)
+		d.Legacy.AttachPort(p, link.A())
+		d.Hosts[p] = NewHost(fmt.Sprintf("h%d", p), HostMAC(p), HostIP(p), link.B())
+	}
+
+	// Trunk link between the legacy switch and SS_1.
+	lc := cfg.LinkConfig
+	lc.Name = "trunk"
+	d.TrunkLink = netem.NewLink(lc)
+	d.Legacy.AttachPort(trunkPort, d.TrunkLink.A())
+
+	// Management: CLI over an in-memory TCP-like pipe.
+	mgmtClient, mgmtServer := net.Pipe()
+	go func() { _ = d.CLI.ServeConn(mgmtServer) }()
+	vendor := "ciscoish"
+	if cfg.Dialect == legacy.DialectAristaish {
+		vendor = "aristaish"
+	}
+	driver, err := mgmt.NewDriver(mgmtClient, vendor)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: mgmt driver: %w", err)
+	}
+
+	// Controller: fresh, or shared across deployments.
+	if cfg.Controller != nil {
+		d.Ctrl = cfg.Controller
+	} else {
+		d.Ctrl = controller.New(cfg.Apps)
+	}
+	var ctrlConn io.ReadWriteCloser
+	if len(cfg.Apps) > 0 || cfg.Controller != nil {
+		swSide, ctrlSide := net.Pipe()
+		ctrlConn = swSide
+		go func() { _, _ = d.Ctrl.AttachConn(ctrlSide) }()
+	}
+
+	// Manager deploy.
+	d.Manager = harmless.NewManager(driver, nil, harmless.ManagerConfig{
+		TrunkPort:     trunkPort,
+		AccessPorts:   cfg.AccessPorts,
+		Specialize:    cfg.Specialize,
+		SweepInterval: cfg.SweepInterval,
+		Clock:         cfg.Clock,
+		DatapathID:    cfg.DatapathID,
+	})
+	s4, err := d.Manager.Deploy(d.TrunkLink.B(), ctrlConn)
+	if err != nil {
+		return nil, err
+	}
+	d.S4 = s4
+	return d, nil
+}
+
+// Close releases all links and the controller channel.
+func (d *Deployment) Close() {
+	if d.S4 != nil {
+		d.S4.Stop()
+	}
+	for _, l := range d.Links {
+		l.Close()
+	}
+	if d.TrunkLink != nil {
+		d.TrunkLink.Close()
+	}
+}
+
+// WaitConnected blocks until the controller has registered SS_2 and
+// its SwitchConnected hooks have installed their flows.
+func (d *Deployment) WaitConnected(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	dpid := d.S4.SS2.DatapathID()
+	for time.Now().Before(deadline) {
+		if h, ok := d.Ctrl.Switch(dpid); ok {
+			// Fence with a barrier so proactive flows are in place.
+			_ = h.Barrier()
+			time.Sleep(10 * time.Millisecond)
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("fabric: controller never saw switch %#x: %w", dpid, ErrTimeout)
+}

@@ -1,0 +1,508 @@
+// Package flowtable implements the OpenFlow 1.3 table semantics the
+// software switch executes: priority-ordered flow tables with
+// idle/hard timeouts and counters, a multi-table pipeline, group and
+// meter tables, and an ESwitch-style dataplane specializer that
+// compiles tables of exact-match templates into hash lookups
+// (see specialize.go).
+//
+// The package separates protocol encoding (internal/openflow) from
+// matching semantics: Match here is the evaluated form, convertible
+// to/from the OXM TLV lists that travel on the wire.
+package flowtable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"github.com/harmless-sdn/harmless/internal/openflow"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// FieldID enumerates matchable fields; values intentionally mirror the
+// OXM field codes so conversion is trivial.
+type FieldID = uint8
+
+// VLANMode describes how a match constrains VLAN presence.
+type VLANMode uint8
+
+// VLAN match modes.
+const (
+	// VLANAnyMode: field not constrained.
+	VLANAnyMode VLANMode = iota
+	// VLANAbsent matches only untagged frames (OFPVID_NONE).
+	VLANAbsent
+	// VLANExact matches a present tag with the exact VID.
+	VLANExact
+)
+
+// Match is the semantic form of an OpenFlow match, evaluated against a
+// pkt.Key. The zero value matches every packet.
+type Match struct {
+	InPortSet bool
+	InPort    uint32
+
+	EthDstSet  bool
+	EthDst     pkt.MAC
+	EthDstMask pkt.MAC // all-ones when unmasked
+
+	EthSrcSet  bool
+	EthSrc     pkt.MAC
+	EthSrcMask pkt.MAC
+
+	EthTypeSet bool
+	EthType    uint16
+
+	VLAN    VLANMode
+	VLANVID uint16
+
+	VLANPCPSet bool
+	VLANPCP    uint8
+
+	IPProtoSet bool
+	IPProto    uint8
+
+	IPSrcSet  bool
+	IPSrc     pkt.IPv4
+	IPSrcMask pkt.IPv4
+
+	IPDstSet  bool
+	IPDst     pkt.IPv4
+	IPDstMask pkt.IPv4
+
+	L4SrcSet bool
+	L4Src    uint16
+
+	L4DstSet bool
+	L4Dst    uint16
+
+	ICMPTypeSet bool
+	ICMPType    uint8
+	ICMPCodeSet bool
+	ICMPCode    uint8
+
+	ARPOpSet   bool
+	ARPOp      uint16
+	ARPSPASet  bool
+	ARPSPA     pkt.IPv4
+	ARPSPAMask pkt.IPv4
+	ARPTPASet  bool
+	ARPTPA     pkt.IPv4
+	ARPTPAMask pkt.IPv4
+}
+
+var onesMAC = pkt.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+var onesIPv4 = pkt.IPv4{0xff, 0xff, 0xff, 0xff}
+
+func macMasked(v, m, want, wantMask pkt.MAC) bool {
+	for i := 0; i < 6; i++ {
+		if v[i]&wantMask[i] != want[i]&wantMask[i] {
+			return false
+		}
+	}
+	_ = m
+	return true
+}
+
+func ipMasked(v, want, wantMask pkt.IPv4) bool {
+	for i := 0; i < 4; i++ {
+		if v[i]&wantMask[i] != want[i]&wantMask[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether the key satisfies every constraint.
+func (m *Match) Matches(k *pkt.Key) bool {
+	if m.InPortSet && k.InPort != m.InPort {
+		return false
+	}
+	if m.EthDstSet && !macMasked(k.EthDst, onesMAC, m.EthDst, m.EthDstMask) {
+		return false
+	}
+	if m.EthSrcSet && !macMasked(k.EthSrc, onesMAC, m.EthSrc, m.EthSrcMask) {
+		return false
+	}
+	if m.EthTypeSet && k.EthType != m.EthType {
+		return false
+	}
+	switch m.VLAN {
+	case VLANAbsent:
+		if k.HasVLAN {
+			return false
+		}
+	case VLANExact:
+		if !k.HasVLAN || k.VLANID != m.VLANVID {
+			return false
+		}
+	}
+	if m.VLANPCPSet && (!k.HasVLAN || k.VLANPCP != m.VLANPCP) {
+		return false
+	}
+	if m.IPProtoSet {
+		if !k.HasIPv4 && !k.HasIPv6 {
+			return false
+		}
+		if k.IPProto != m.IPProto {
+			return false
+		}
+	}
+	if m.IPSrcSet && (!k.HasIPv4 || !ipMasked(k.IPSrc, m.IPSrc, m.IPSrcMask)) {
+		return false
+	}
+	if m.IPDstSet && (!k.HasIPv4 || !ipMasked(k.IPDst, m.IPDst, m.IPDstMask)) {
+		return false
+	}
+	if m.L4SrcSet && (!k.HasL4 || k.L4Src != m.L4Src) {
+		return false
+	}
+	if m.L4DstSet && (!k.HasL4 || k.L4Dst != m.L4Dst) {
+		return false
+	}
+	if m.ICMPTypeSet && (!k.HasICMP || k.ICMPType != m.ICMPType) {
+		return false
+	}
+	if m.ICMPCodeSet && (!k.HasICMP || k.ICMPCode != m.ICMPCode) {
+		return false
+	}
+	if m.ARPOpSet && (!k.HasARP || k.ARPOp != m.ARPOp) {
+		return false
+	}
+	if m.ARPSPASet && (!k.HasARP || !ipMasked(k.ARPSPA, m.ARPSPA, m.ARPSPAMask)) {
+		return false
+	}
+	if m.ARPTPASet && (!k.HasARP || !ipMasked(k.ARPTPA, m.ARPTPA, m.ARPTPAMask)) {
+		return false
+	}
+	return true
+}
+
+// FromOXM populates the match from wire TLVs.
+func FromOXM(wire *openflow.Match) (*Match, error) {
+	m := &Match{}
+	for _, o := range wire.OXMs {
+		switch o.Field {
+		case openflow.OXMInPort:
+			m.InPortSet = true
+			m.InPort = binary.BigEndian.Uint32(o.Value)
+		case openflow.OXMEthDst:
+			m.EthDstSet = true
+			copy(m.EthDst[:], o.Value)
+			m.EthDstMask = onesMAC
+			if o.HasMask {
+				copy(m.EthDstMask[:], o.Mask)
+			}
+		case openflow.OXMEthSrc:
+			m.EthSrcSet = true
+			copy(m.EthSrc[:], o.Value)
+			m.EthSrcMask = onesMAC
+			if o.HasMask {
+				copy(m.EthSrcMask[:], o.Mask)
+			}
+		case openflow.OXMEthType:
+			m.EthTypeSet = true
+			m.EthType = binary.BigEndian.Uint16(o.Value)
+		case openflow.OXMVLANVID:
+			v := binary.BigEndian.Uint16(o.Value)
+			if v == openflow.OXMVIDNone {
+				m.VLAN = VLANAbsent
+			} else {
+				m.VLAN = VLANExact
+				m.VLANVID = v &^ openflow.OXMVIDPresent
+			}
+		case openflow.OXMVLANPCP:
+			m.VLANPCPSet = true
+			m.VLANPCP = o.Value[0]
+		case openflow.OXMIPProto:
+			m.IPProtoSet = true
+			m.IPProto = o.Value[0]
+		case openflow.OXMIPv4Src:
+			m.IPSrcSet = true
+			copy(m.IPSrc[:], o.Value)
+			m.IPSrcMask = onesIPv4
+			if o.HasMask {
+				copy(m.IPSrcMask[:], o.Mask)
+			}
+		case openflow.OXMIPv4Dst:
+			m.IPDstSet = true
+			copy(m.IPDst[:], o.Value)
+			m.IPDstMask = onesIPv4
+			if o.HasMask {
+				copy(m.IPDstMask[:], o.Mask)
+			}
+		case openflow.OXMTCPSrc, openflow.OXMUDPSrc:
+			m.L4SrcSet = true
+			m.L4Src = binary.BigEndian.Uint16(o.Value)
+		case openflow.OXMTCPDst, openflow.OXMUDPDst:
+			m.L4DstSet = true
+			m.L4Dst = binary.BigEndian.Uint16(o.Value)
+		case openflow.OXMICMPType:
+			m.ICMPTypeSet = true
+			m.ICMPType = o.Value[0]
+		case openflow.OXMICMPCode:
+			m.ICMPCodeSet = true
+			m.ICMPCode = o.Value[0]
+		case openflow.OXMARPOp:
+			m.ARPOpSet = true
+			m.ARPOp = binary.BigEndian.Uint16(o.Value)
+		case openflow.OXMARPSPA:
+			m.ARPSPASet = true
+			copy(m.ARPSPA[:], o.Value)
+			m.ARPSPAMask = onesIPv4
+			if o.HasMask {
+				copy(m.ARPSPAMask[:], o.Mask)
+			}
+		case openflow.OXMARPTPA:
+			m.ARPTPASet = true
+			copy(m.ARPTPA[:], o.Value)
+			m.ARPTPAMask = onesIPv4
+			if o.HasMask {
+				copy(m.ARPTPAMask[:], o.Mask)
+			}
+		default:
+			return nil, fmt.Errorf("flowtable: unsupported OXM field %d", o.Field)
+		}
+	}
+	return m, nil
+}
+
+// ToOXM converts the match back to wire TLVs.
+func (m *Match) ToOXM() openflow.Match {
+	w := openflow.Match{}
+	if m.InPortSet {
+		w.WithInPort(m.InPort)
+	}
+	if m.EthDstSet {
+		if m.EthDstMask == onesMAC {
+			w.WithEthDst(m.EthDst)
+		} else {
+			w.WithEthDstMasked(m.EthDst, m.EthDstMask)
+		}
+	}
+	if m.EthSrcSet {
+		w.WithEthSrc(m.EthSrc)
+	}
+	if m.EthTypeSet {
+		w.WithEthType(m.EthType)
+	}
+	switch m.VLAN {
+	case VLANAbsent:
+		w.WithNoVLAN()
+	case VLANExact:
+		w.WithVLAN(m.VLANVID)
+	}
+	if m.VLANPCPSet {
+		w.WithVLANPCP(m.VLANPCP)
+	}
+	if m.IPProtoSet {
+		w.WithIPProto(m.IPProto)
+	}
+	if m.IPSrcSet {
+		if m.IPSrcMask == onesIPv4 {
+			w.WithIPv4Src(m.IPSrc)
+		} else {
+			w.WithIPv4SrcMasked(m.IPSrc, m.IPSrcMask)
+		}
+	}
+	if m.IPDstSet {
+		if m.IPDstMask == onesIPv4 {
+			w.WithIPv4Dst(m.IPDst)
+		} else {
+			w.WithIPv4DstMasked(m.IPDst, m.IPDstMask)
+		}
+	}
+	if m.L4SrcSet {
+		if m.IPProto == pkt.IPProtoUDP {
+			w.WithUDPSrc(m.L4Src)
+		} else {
+			w.WithTCPSrc(m.L4Src)
+		}
+	}
+	if m.L4DstSet {
+		if m.IPProto == pkt.IPProtoUDP {
+			w.WithUDPDst(m.L4Dst)
+		} else {
+			w.WithTCPDst(m.L4Dst)
+		}
+	}
+	if m.ICMPTypeSet {
+		w.WithICMPType(m.ICMPType)
+	}
+	if m.ARPOpSet {
+		w.WithARPOp(m.ARPOp)
+	}
+	if m.ARPSPASet {
+		w.WithARPSPA(m.ARPSPA)
+	}
+	if m.ARPTPASet {
+		w.WithARPTPA(m.ARPTPA)
+	}
+	return w
+}
+
+// Equal reports exact match equality (used by strict flow-mod ops).
+func (m *Match) Equal(o *Match) bool { return *m == *o }
+
+// CoveredBy reports whether every packet matching m also matches the
+// (typically wider) request r — the selection rule for non-strict
+// delete/modify. Only same-field refinement is considered, which
+// covers the practical cases (exact vs wildcard, narrower IP prefix).
+func (m *Match) CoveredBy(r *Match) bool {
+	if r.InPortSet && (!m.InPortSet || m.InPort != r.InPort) {
+		return false
+	}
+	if r.EthDstSet {
+		if !m.EthDstSet {
+			return false
+		}
+		for i := 0; i < 6; i++ {
+			// r's constrained bits must be constrained identically in m.
+			if m.EthDstMask[i]&r.EthDstMask[i] != r.EthDstMask[i] {
+				return false
+			}
+			if m.EthDst[i]&r.EthDstMask[i] != r.EthDst[i]&r.EthDstMask[i] {
+				return false
+			}
+		}
+	}
+	if r.EthSrcSet && (!m.EthSrcSet || m.EthSrc != r.EthSrc) {
+		return false
+	}
+	if r.EthTypeSet && (!m.EthTypeSet || m.EthType != r.EthType) {
+		return false
+	}
+	if r.VLAN != VLANAnyMode {
+		if m.VLAN != r.VLAN {
+			return false
+		}
+		if r.VLAN == VLANExact && m.VLANVID != r.VLANVID {
+			return false
+		}
+	}
+	if r.IPProtoSet && (!m.IPProtoSet || m.IPProto != r.IPProto) {
+		return false
+	}
+	if r.IPSrcSet {
+		if !m.IPSrcSet {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			if m.IPSrcMask[i]&r.IPSrcMask[i] != r.IPSrcMask[i] {
+				return false
+			}
+			if m.IPSrc[i]&r.IPSrcMask[i] != r.IPSrc[i]&r.IPSrcMask[i] {
+				return false
+			}
+		}
+	}
+	if r.IPDstSet {
+		if !m.IPDstSet {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			if m.IPDstMask[i]&r.IPDstMask[i] != r.IPDstMask[i] {
+				return false
+			}
+			if m.IPDst[i]&r.IPDstMask[i] != r.IPDst[i]&r.IPDstMask[i] {
+				return false
+			}
+		}
+	}
+	if r.L4SrcSet && (!m.L4SrcSet || m.L4Src != r.L4Src) {
+		return false
+	}
+	if r.L4DstSet && (!m.L4DstSet || m.L4Dst != r.L4Dst) {
+		return false
+	}
+	if r.ICMPTypeSet && (!m.ICMPTypeSet || m.ICMPType != r.ICMPType) {
+		return false
+	}
+	if r.ARPOpSet && (!m.ARPOpSet || m.ARPOp != r.ARPOp) {
+		return false
+	}
+	return true
+}
+
+// String renders the match for diagnostics.
+func (m *Match) String() string {
+	var parts []string
+	if m.InPortSet {
+		parts = append(parts, fmt.Sprintf("in_port=%d", m.InPort))
+	}
+	if m.EthDstSet {
+		parts = append(parts, "eth_dst="+m.EthDst.String())
+	}
+	if m.EthSrcSet {
+		parts = append(parts, "eth_src="+m.EthSrc.String())
+	}
+	if m.EthTypeSet {
+		parts = append(parts, fmt.Sprintf("eth_type=%#x", m.EthType))
+	}
+	switch m.VLAN {
+	case VLANAbsent:
+		parts = append(parts, "vlan=none")
+	case VLANExact:
+		parts = append(parts, fmt.Sprintf("vlan=%d", m.VLANVID))
+	}
+	if m.IPProtoSet {
+		parts = append(parts, fmt.Sprintf("ip_proto=%d", m.IPProto))
+	}
+	if m.IPSrcSet {
+		parts = append(parts, "nw_src="+m.IPSrc.String())
+	}
+	if m.IPDstSet {
+		parts = append(parts, "nw_dst="+m.IPDst.String())
+	}
+	if m.L4SrcSet {
+		parts = append(parts, fmt.Sprintf("tp_src=%d", m.L4Src))
+	}
+	if m.L4DstSet {
+		parts = append(parts, fmt.Sprintf("tp_dst=%d", m.L4Dst))
+	}
+	if m.ARPOpSet {
+		parts = append(parts, fmt.Sprintf("arp_op=%d", m.ARPOp))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ValidatePrerequisites enforces the OXM prerequisite rules of the
+// OpenFlow 1.3 spec (§7.2.3.8): L3 fields require the matching
+// eth_type, L4 fields require the matching ip_proto, VLAN PCP requires
+// a present tag, and ARP fields require eth_type=0x0806. Real switches
+// reject flow-mods violating these with OFPET_BAD_MATCH; so does the
+// softswitch.
+func (m *Match) ValidatePrerequisites() error {
+	if m.IPSrcSet || m.IPDstSet {
+		if !m.EthTypeSet || m.EthType != pkt.EtherTypeIPv4 {
+			return fmt.Errorf("flowtable: ipv4 match requires eth_type=0x0800")
+		}
+	}
+	if m.IPProtoSet {
+		if !m.EthTypeSet || (m.EthType != pkt.EtherTypeIPv4 && m.EthType != pkt.EtherTypeIPv6) {
+			return fmt.Errorf("flowtable: ip_proto match requires eth_type=0x0800 or 0x86dd")
+		}
+	}
+	if m.L4SrcSet || m.L4DstSet {
+		if !m.IPProtoSet || (m.IPProto != pkt.IPProtoTCP && m.IPProto != pkt.IPProtoUDP) {
+			return fmt.Errorf("flowtable: tcp/udp port match requires ip_proto=6 or 17")
+		}
+	}
+	if m.ICMPTypeSet || m.ICMPCodeSet {
+		if !m.IPProtoSet || m.IPProto != pkt.IPProtoICMP {
+			return fmt.Errorf("flowtable: icmp match requires ip_proto=1")
+		}
+	}
+	if m.ARPOpSet || m.ARPSPASet || m.ARPTPASet {
+		if !m.EthTypeSet || m.EthType != pkt.EtherTypeARP {
+			return fmt.Errorf("flowtable: arp match requires eth_type=0x0806")
+		}
+	}
+	if m.VLANPCPSet && m.VLAN != VLANExact {
+		return fmt.Errorf("flowtable: vlan_pcp match requires a vlan_vid match")
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package flowtable
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// Dataplane specialization in the style of ESwitch (Molnár et al.,
+// SIGCOMM 2016), the software switch the HARMLESS demo runs on: instead
+// of scanning a priority-ordered list per packet, the current table is
+// compiled into a small set of exact-match templates — one hash table
+// per distinct field signature — plus an optional catch-all default.
+// Lookup then probes the (few) templates and picks the best-priority
+// hit. The compilation is invalidated by any table change (tracked via
+// Table.Version) and simply rebuilt.
+//
+// Tables qualify when every entry either (a) matches a set of fields
+// all exactly (no masks), or (b) is a match-all default. This is
+// precisely the shape of the HARMLESS translator (SS_1) program and of
+// L2/L3 forwarding tables, which is what makes the ESwitch approach
+// effective for the paper's workloads.
+
+// templateFields is the bitmask of fields a template constrains.
+type templateFields uint32
+
+// Field bits used in template signatures.
+const (
+	tfInPort templateFields = 1 << iota
+	tfEthDst
+	tfEthSrc
+	tfEthType
+	tfVLAN     // exact VID (tag present)
+	tfVLANNone // untagged
+	tfIPProto
+	tfIPSrc
+	tfIPDst
+	tfL4Src
+	tfL4Dst
+	tfICMPType
+	tfARPOp
+)
+
+// signatureOf classifies a match for specialization. ok is false when
+// the match cannot be expressed as an exact-match template (masked
+// fields or unsupported constraints).
+func signatureOf(m *Match) (templateFields, bool) {
+	var sig templateFields
+	if m.InPortSet {
+		sig |= tfInPort
+	}
+	if m.EthDstSet {
+		if m.EthDstMask != onesMAC {
+			return 0, false
+		}
+		sig |= tfEthDst
+	}
+	if m.EthSrcSet {
+		if m.EthSrcMask != onesMAC {
+			return 0, false
+		}
+		sig |= tfEthSrc
+	}
+	if m.EthTypeSet {
+		sig |= tfEthType
+	}
+	switch m.VLAN {
+	case VLANExact:
+		sig |= tfVLAN
+	case VLANAbsent:
+		sig |= tfVLANNone
+	}
+	if m.VLANPCPSet || m.ICMPCodeSet || m.ARPSPASet || m.ARPTPASet {
+		return 0, false // rare fields: keep the generic path
+	}
+	if m.IPProtoSet {
+		sig |= tfIPProto
+	}
+	if m.IPSrcSet {
+		if m.IPSrcMask != onesIPv4 {
+			return 0, false
+		}
+		sig |= tfIPSrc
+	}
+	if m.IPDstSet {
+		if m.IPDstMask != onesIPv4 {
+			return 0, false
+		}
+		sig |= tfIPDst
+	}
+	if m.L4SrcSet {
+		sig |= tfL4Src
+	}
+	if m.L4DstSet {
+		sig |= tfL4Dst
+	}
+	if m.ICMPTypeSet {
+		sig |= tfICMPType
+	}
+	if m.ARPOpSet {
+		sig |= tfARPOp
+	}
+	return sig, true
+}
+
+// templateKey is the packed value of the constrained fields. A fixed
+// array keeps it comparable (map key) without allocation.
+type templateKey struct {
+	buf [32]byte
+	n   uint8
+}
+
+// keyFromMatch packs the constrained field values of a match.
+func keyFromMatch(sig templateFields, m *Match) templateKey {
+	var k templateKey
+	put := func(b []byte) {
+		copy(k.buf[k.n:], b)
+		k.n += uint8(len(b))
+	}
+	var tmp [4]byte
+	if sig&tfInPort != 0 {
+		binary.BigEndian.PutUint32(tmp[:], m.InPort)
+		put(tmp[:4])
+	}
+	if sig&tfEthDst != 0 {
+		put(m.EthDst[:])
+	}
+	if sig&tfEthSrc != 0 {
+		put(m.EthSrc[:])
+	}
+	if sig&tfEthType != 0 {
+		binary.BigEndian.PutUint16(tmp[:2], m.EthType)
+		put(tmp[:2])
+	}
+	if sig&tfVLAN != 0 {
+		binary.BigEndian.PutUint16(tmp[:2], m.VLANVID)
+		put(tmp[:2])
+	}
+	if sig&tfIPProto != 0 {
+		put([]byte{m.IPProto})
+	}
+	if sig&tfIPSrc != 0 {
+		put(m.IPSrc[:])
+	}
+	if sig&tfIPDst != 0 {
+		put(m.IPDst[:])
+	}
+	if sig&tfL4Src != 0 {
+		binary.BigEndian.PutUint16(tmp[:2], m.L4Src)
+		put(tmp[:2])
+	}
+	if sig&tfL4Dst != 0 {
+		binary.BigEndian.PutUint16(tmp[:2], m.L4Dst)
+		put(tmp[:2])
+	}
+	if sig&tfICMPType != 0 {
+		put([]byte{m.ICMPType})
+	}
+	if sig&tfARPOp != 0 {
+		binary.BigEndian.PutUint16(tmp[:2], m.ARPOp)
+		put(tmp[:2])
+	}
+	return k
+}
+
+// keyFromPacket packs the same fields out of a packet key; ok is false
+// when the packet lacks a field the template needs (so it cannot match
+// any entry of that template).
+func keyFromPacket(sig templateFields, p *pkt.Key) (templateKey, bool) {
+	var k templateKey
+	put := func(b []byte) {
+		copy(k.buf[k.n:], b)
+		k.n += uint8(len(b))
+	}
+	var tmp [4]byte
+	if sig&tfVLANNone != 0 && p.HasVLAN {
+		return k, false
+	}
+	if sig&tfInPort != 0 {
+		binary.BigEndian.PutUint32(tmp[:], p.InPort)
+		put(tmp[:4])
+	}
+	if sig&tfEthDst != 0 {
+		put(p.EthDst[:])
+	}
+	if sig&tfEthSrc != 0 {
+		put(p.EthSrc[:])
+	}
+	if sig&tfEthType != 0 {
+		binary.BigEndian.PutUint16(tmp[:2], p.EthType)
+		put(tmp[:2])
+	}
+	if sig&tfVLAN != 0 {
+		if !p.HasVLAN {
+			return k, false
+		}
+		binary.BigEndian.PutUint16(tmp[:2], p.VLANID)
+		put(tmp[:2])
+	}
+	if sig&tfIPProto != 0 {
+		if !p.HasIPv4 && !p.HasIPv6 {
+			return k, false
+		}
+		put([]byte{p.IPProto})
+	}
+	if sig&tfIPSrc != 0 {
+		if !p.HasIPv4 {
+			return k, false
+		}
+		put(p.IPSrc[:])
+	}
+	if sig&tfIPDst != 0 {
+		if !p.HasIPv4 {
+			return k, false
+		}
+		put(p.IPDst[:])
+	}
+	if sig&tfL4Src != 0 {
+		if !p.HasL4 {
+			return k, false
+		}
+		binary.BigEndian.PutUint16(tmp[:2], p.L4Src)
+		put(tmp[:2])
+	}
+	if sig&tfL4Dst != 0 {
+		if !p.HasL4 {
+			return k, false
+		}
+		binary.BigEndian.PutUint16(tmp[:2], p.L4Dst)
+		put(tmp[:2])
+	}
+	if sig&tfICMPType != 0 {
+		if !p.HasICMP {
+			return k, false
+		}
+		put([]byte{p.ICMPType})
+	}
+	if sig&tfARPOp != 0 {
+		if !p.HasARP {
+			return k, false
+		}
+		binary.BigEndian.PutUint16(tmp[:2], p.ARPOp)
+		put(tmp[:2])
+	}
+	return k, true
+}
+
+// template is one compiled exact-match table.
+type template struct {
+	sig     templateFields
+	entries map[templateKey]*Entry
+	maxPrio uint16
+}
+
+// FastPath is a compiled form of one Table.
+type FastPath struct {
+	version   uint64
+	templates []*template // sorted by maxPrio descending
+	catchAll  *Entry      // match-all default, if any
+	catchPrio uint16
+}
+
+// Compile builds a FastPath for the table's current contents, or
+// returns ok=false when the table shape does not qualify.
+func Compile(t *Table) (*FastPath, bool) {
+	version := t.Version()
+	entries := t.Entries()
+	fp := &FastPath{version: version}
+	bysig := map[templateFields]*template{}
+	for _, e := range entries {
+		sig, ok := signatureOf(e.Match)
+		if !ok {
+			return nil, false
+		}
+		if sig == 0 {
+			// Match-all: acceptable only as a single default entry.
+			if fp.catchAll != nil {
+				return nil, false
+			}
+			fp.catchAll = e
+			fp.catchPrio = e.Priority
+			continue
+		}
+		tpl := bysig[sig]
+		if tpl == nil {
+			tpl = &template{sig: sig, entries: make(map[templateKey]*Entry)}
+			bysig[sig] = tpl
+		}
+		k := keyFromMatch(sig, e.Match)
+		if old, dup := tpl.entries[k]; dup {
+			// Same key at two priorities: keep the higher one (the
+			// lower can never win anyway within this template, and
+			// cross-template resolution is by priority).
+			if e.Priority <= old.Priority {
+				continue
+			}
+		}
+		tpl.entries[k] = e
+		if e.Priority > tpl.maxPrio {
+			tpl.maxPrio = e.Priority
+		}
+	}
+	for _, tpl := range bysig {
+		fp.templates = append(fp.templates, tpl)
+	}
+	sort.Slice(fp.templates, func(i, j int) bool {
+		return fp.templates[i].maxPrio > fp.templates[j].maxPrio
+	})
+	return fp, true
+}
+
+// Valid reports whether the compilation still matches the table.
+func (fp *FastPath) Valid(t *Table) bool { return fp != nil && fp.version == t.Version() }
+
+// Lookup probes the compiled templates; it returns the same entry the
+// generic scan would, or (nil, false) when the packet misses entirely.
+// The boolean is true if the fast path is authoritative (it always is
+// for a valid compilation).
+func (fp *FastPath) Lookup(p *pkt.Key) *Entry {
+	var best *Entry
+	var bestPrio int32 = -1
+	for _, tpl := range fp.templates {
+		if int32(tpl.maxPrio) <= bestPrio {
+			break // templates sorted by maxPrio: nothing better follows
+		}
+		k, ok := keyFromPacket(tpl.sig, p)
+		if !ok {
+			continue
+		}
+		if e, hit := tpl.entries[k]; hit && int32(e.Priority) > bestPrio {
+			best = e
+			bestPrio = int32(e.Priority)
+		}
+	}
+	if fp.catchAll != nil && int32(fp.catchPrio) > bestPrio {
+		best = fp.catchAll
+	}
+	return best
+}
+
+// Templates returns the number of compiled templates (diagnostics).
+func (fp *FastPath) Templates() int { return len(fp.templates) }

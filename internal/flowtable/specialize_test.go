@@ -1,0 +1,248 @@
+package flowtable
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/harmless-sdn/harmless/internal/openflow"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// buildTranslatorTable builds an SS_1-shaped table: trunk ingress rows
+// keyed by (in_port, vlan) and patch ingress rows keyed by in_port,
+// plus no default.
+func buildTranslatorTable(t *testing.T, nPorts int) *Table {
+	t.Helper()
+	tbl := NewTable(0, nil)
+	const trunkPort = 1
+	for i := 0; i < nPorts; i++ {
+		vid := uint16(101 + i)
+		patch := uint32(2 + i)
+		// trunk, vlan=vid -> pop, output patch.
+		err := tbl.Add(&Entry{
+			Priority: 100,
+			Match:    &Match{InPortSet: true, InPort: trunkPort, VLAN: VLANExact, VLANVID: vid},
+			Instructions: []openflow.Instruction{&openflow.InstrApplyActions{Actions: []openflow.Action{
+				&openflow.ActionPopVLAN{}, &openflow.ActionOutput{Port: patch, MaxLen: 0xffff},
+			}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// patch -> push vlan vid, output trunk.
+		err = tbl.Add(&Entry{
+			Priority: 100,
+			Match:    &Match{InPortSet: true, InPort: patch},
+			Instructions: []openflow.Instruction{&openflow.InstrApplyActions{Actions: []openflow.Action{
+				&openflow.ActionPushVLAN{EtherType: pkt.EtherTypeDot1Q}, &openflow.ActionOutput{Port: trunkPort, MaxLen: 0xffff},
+			}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestCompileTranslatorShape(t *testing.T) {
+	tbl := buildTranslatorTable(t, 8)
+	fp, ok := Compile(tbl)
+	if !ok {
+		t.Fatal("translator table must be specializable")
+	}
+	if fp.Templates() != 2 { // (in_port,vlan) and (in_port)
+		t.Errorf("templates = %d, want 2", fp.Templates())
+	}
+	if !fp.Valid(tbl) {
+		t.Error("fresh compilation must be valid")
+	}
+	// Trunk ingress frame tagged 103 must hit the pop rule for patch 4.
+	k := vlanKey(1, 103)
+	e := fp.Lookup(k)
+	if e == nil {
+		t.Fatal("fast path missed")
+	}
+	if e != tbl.Lookup(k, 0) {
+		t.Error("fast path disagrees with generic scan")
+	}
+	// Patch ingress.
+	k2 := udpKey(5, hostA, hostB, ipA, ipB, 1, 2)
+	if fp.Lookup(k2) != tbl.Lookup(k2, 0) {
+		t.Error("patch lookup disagrees")
+	}
+	// Unknown VLAN on the trunk: both miss.
+	k3 := vlanKey(1, 999)
+	if fp.Lookup(k3) != nil || tbl.Lookup(k3, 0) != nil {
+		t.Error("unknown vlan should miss on both paths")
+	}
+}
+
+func TestCompileInvalidation(t *testing.T) {
+	tbl := buildTranslatorTable(t, 2)
+	fp, ok := Compile(tbl)
+	if !ok {
+		t.Fatal("compile failed")
+	}
+	_ = tbl.Add(&Entry{Priority: 50, Match: &Match{InPortSet: true, InPort: 99}})
+	if fp.Valid(tbl) {
+		t.Error("compilation must be invalid after table change")
+	}
+	fp2, ok := Compile(tbl)
+	if !ok || !fp2.Valid(tbl) {
+		t.Error("recompile failed")
+	}
+}
+
+func TestCompileRejectsMaskedEntries(t *testing.T) {
+	tbl := NewTable(0, nil)
+	_ = tbl.Add(&Entry{Priority: 1, Match: &Match{
+		IPSrcSet: true, IPSrc: pkt.MustIPv4("10.0.0.0"), IPSrcMask: pkt.MustIPv4("255.0.0.0"),
+	}})
+	if _, ok := Compile(tbl); ok {
+		t.Error("masked table compiled")
+	}
+}
+
+func TestCompileRejectsTwoCatchAlls(t *testing.T) {
+	tbl := NewTable(0, nil)
+	_ = tbl.Add(&Entry{Priority: 1, Match: &Match{}})
+	_ = tbl.Add(&Entry{Priority: 2, Match: &Match{}})
+	// Identical matches replace, so force two distinct wildcards via
+	// priorities; Add with equal match replaces, so the table has one
+	// entry and compiles.
+	if tbl.Len() != 2 {
+		t.Skip("table collapsed to one entry")
+	}
+	if _, ok := Compile(tbl); ok {
+		t.Error("two catch-alls compiled")
+	}
+}
+
+func TestCompileWithDefaultEntry(t *testing.T) {
+	tbl := NewTable(0, nil)
+	_ = tbl.Add(&Entry{Priority: 100, Match: &Match{EthDstSet: true, EthDst: hostB, EthDstMask: onesMAC}, Instructions: outputTo(2)})
+	_ = tbl.Add(&Entry{Priority: 0, Match: &Match{}, Instructions: outputTo(openflow.PortController)})
+	fp, ok := Compile(tbl)
+	if !ok {
+		t.Fatal("L2 table with default must compile")
+	}
+	// Known dst.
+	k := udpKey(1, hostA, hostB, ipA, ipB, 1, 2)
+	if e := fp.Lookup(k); e == nil || e.Priority != 100 {
+		t.Errorf("known dst: %v", e)
+	}
+	// Unknown dst falls to the default.
+	k2 := udpKey(1, hostB, hostA, ipA, ipB, 1, 2)
+	if e := fp.Lookup(k2); e == nil || e.Priority != 0 {
+		t.Errorf("default: %v", e)
+	}
+}
+
+func TestCompilePriorityAcrossTemplates(t *testing.T) {
+	tbl := NewTable(0, nil)
+	// Two templates where the lower-max-priority template contains the
+	// winning entry for some packets.
+	_ = tbl.Add(&Entry{Priority: 200, Match: &Match{InPortSet: true, InPort: 1, EthTypeSet: true, EthType: pkt.EtherTypeARP}, Instructions: outputTo(3)})
+	_ = tbl.Add(&Entry{Priority: 100, Match: &Match{InPortSet: true, InPort: 1}, Instructions: outputTo(2)})
+	fp, ok := Compile(tbl)
+	if !ok {
+		t.Fatal("compile failed")
+	}
+	// An IPv4 packet on port 1: misses the (in_port, eth_type=ARP)
+	// template key, hits the in_port template.
+	k := udpKey(1, hostA, hostB, ipA, ipB, 1, 2)
+	e := fp.Lookup(k)
+	if e == nil || e.Priority != 100 {
+		t.Fatalf("wrong entry: %v", e)
+	}
+	// An ARP packet must hit the higher-priority template.
+	arp := &pkt.Key{InPort: 1, EthType: pkt.EtherTypeARP, HasARP: true, ARPOp: 1}
+	e = fp.Lookup(arp)
+	if e == nil || e.Priority != 200 {
+		t.Fatalf("wrong entry for ARP: %v", e)
+	}
+}
+
+func TestFastPathAgreesWithGenericProperty(t *testing.T) {
+	// Random exact-match tables + random packets: the fast path must
+	// produce exactly the generic result.
+	tbl := NewTable(0, nil)
+	for p := uint32(1); p <= 4; p++ {
+		for v := uint16(101); v <= 104; v++ {
+			_ = tbl.Add(&Entry{
+				Priority:     uint16(100 + p),
+				Match:        &Match{InPortSet: true, InPort: p, VLAN: VLANExact, VLANVID: v},
+				Instructions: outputTo(p),
+			})
+		}
+	}
+	_ = tbl.Add(&Entry{Priority: 1, Match: &Match{}, Instructions: outputTo(99)})
+	fp, ok := Compile(tbl)
+	if !ok {
+		t.Fatal("compile failed")
+	}
+	f := func(port uint8, vid uint16, tagged bool) bool {
+		k := udpKey(uint32(port%6), hostA, hostB, ipA, ipB, 1, 2)
+		if tagged {
+			k.HasVLAN = true
+			k.VLANID = vid % 4096
+		}
+		fpE := fp.Lookup(k)
+		genE := tbl.Lookup(k, 0)
+		return fpE == genE
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenericLookup(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			tbl := NewTable(0, nil)
+			for i := 0; i < n; i++ {
+				_ = tbl.Add(&Entry{
+					Priority:     100,
+					Match:        &Match{InPortSet: true, InPort: 1, VLAN: VLANExact, VLANVID: uint16(i%4094 + 1)},
+					Instructions: outputTo(uint32(i + 2)),
+				})
+			}
+			k := vlanKey(1, uint16(n/2%4094+1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if e := tbl.Lookup(k, 64); e == nil {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSpecializedLookup(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			tbl := NewTable(0, nil)
+			for i := 0; i < n; i++ {
+				_ = tbl.Add(&Entry{
+					Priority:     100,
+					Match:        &Match{InPortSet: true, InPort: 1, VLAN: VLANExact, VLANVID: uint16(i%4094 + 1)},
+					Instructions: outputTo(uint32(i + 2)),
+				})
+			}
+			fp, ok := Compile(tbl)
+			if !ok {
+				b.Fatal("compile failed")
+			}
+			k := vlanKey(1, uint16(n/2%4094+1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if e := fp.Lookup(k); e == nil {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,288 @@
+package flowtable
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/netem"
+	"github.com/harmless-sdn/harmless/internal/openflow"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// Entry is one installed flow.
+type Entry struct {
+	Priority     uint16
+	Match        *Match
+	Instructions []openflow.Instruction
+	Cookie       uint64
+	IdleTimeout  uint16 // seconds; 0 = none
+	HardTimeout  uint16
+	Flags        uint16
+
+	created  time.Time
+	lastUsed atomic.Int64 // unix nanos
+	packets  atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// Packets returns the packet hit counter.
+func (e *Entry) Packets() uint64 { return e.packets.Load() }
+
+// Bytes returns the byte hit counter.
+func (e *Entry) Bytes() uint64 { return e.bytes.Load() }
+
+// Created returns the installation time.
+func (e *Entry) Created() time.Time { return e.created }
+
+// Hit accounts one matched packet of n bytes.
+func (e *Entry) Hit(n int, now time.Time) {
+	e.packets.Add(1)
+	e.bytes.Add(uint64(n))
+	e.lastUsed.Store(now.UnixNano())
+}
+
+// expired reports whether the entry has timed out, and the reason.
+func (e *Entry) expired(now time.Time) (bool, uint8) {
+	if e.HardTimeout > 0 && now.Sub(e.created) >= time.Duration(e.HardTimeout)*time.Second {
+		return true, openflow.FlowRemovedHardTimeout
+	}
+	if e.IdleTimeout > 0 {
+		last := time.Unix(0, e.lastUsed.Load())
+		if now.Sub(last) >= time.Duration(e.IdleTimeout)*time.Second {
+			return true, openflow.FlowRemovedIdleTimeout
+		}
+	}
+	return false, 0
+}
+
+// outputsTo reports whether any instruction outputs to the given port
+// (used by flow-mod out_port filtering).
+func (e *Entry) outputsTo(port uint32) bool {
+	if port == openflow.PortAny {
+		return true
+	}
+	for _, in := range e.Instructions {
+		var acts []openflow.Action
+		switch t := in.(type) {
+		case *openflow.InstrApplyActions:
+			acts = t.Actions
+		case *openflow.InstrWriteActions:
+			acts = t.Actions
+		}
+		for _, a := range acts {
+			if out, ok := a.(*openflow.ActionOutput); ok && out.Port == port {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the entry for diagnostics.
+func (e *Entry) String() string {
+	return fmt.Sprintf("priority=%d %s (pkts=%d)", e.Priority, e.Match, e.Packets())
+}
+
+// Removed describes an entry that was deleted or expired, for
+// flow-removed notifications.
+type Removed struct {
+	Entry    *Entry
+	Reason   uint8
+	TableID  uint8
+	Duration time.Duration
+}
+
+// ErrTableFull is returned when the entry limit is reached.
+var ErrTableFull = fmt.Errorf("flowtable: table full")
+
+// Table is one priority-ordered flow table.
+type Table struct {
+	id       uint8
+	clock    netem.Clock
+	maxFlows int // 0 = unlimited
+
+	mu      sync.RWMutex
+	entries []*Entry // sorted by priority descending
+
+	version atomic.Uint64 // bumped on every modification (specializer invalidation)
+	lookups atomic.Uint64
+	matched atomic.Uint64
+}
+
+// NewTable creates an empty table.
+func NewTable(id uint8, clock netem.Clock) *Table {
+	if clock == nil {
+		clock = netem.RealClock{}
+	}
+	return &Table{id: id, clock: clock}
+}
+
+// SetMaxFlows bounds the table size (0 = unlimited).
+func (t *Table) SetMaxFlows(n int) { t.maxFlows = n }
+
+// ID returns the table id.
+func (t *Table) ID() uint8 { return t.id }
+
+// Version returns the modification counter; it changes whenever the
+// set of entries changes, which the specializer uses for invalidation.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Stats returns (lookups, matched) counters.
+func (t *Table) Stats() (lookups, matched uint64) {
+	return t.lookups.Load(), t.matched.Load()
+}
+
+// Lookup returns the highest-priority matching entry and accounts
+// counters (nil on table miss). size is the frame length for byte
+// counters.
+func (t *Table) Lookup(k *pkt.Key, size int) *Entry {
+	t.lookups.Add(1)
+	t.mu.RLock()
+	var hit *Entry
+	for _, e := range t.entries {
+		if e.Match.Matches(k) {
+			hit = e
+			break // entries are priority-sorted
+		}
+	}
+	t.mu.RUnlock()
+	if hit != nil {
+		t.matched.Add(1)
+		hit.Hit(size, t.clock.Now())
+	}
+	return hit
+}
+
+// Add installs a flow per OFPFC_ADD semantics: an entry with identical
+// match and priority is replaced (counters reset).
+func (t *Table) Add(e *Entry) error {
+	now := t.clock.Now()
+	e.created = now
+	e.lastUsed.Store(now.UnixNano())
+	if e.Match == nil {
+		e.Match = &Match{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.version.Add(1)
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && old.Match.Equal(e.Match) {
+			t.entries[i] = e
+			return nil
+		}
+	}
+	if t.maxFlows > 0 && len(t.entries) >= t.maxFlows {
+		return ErrTableFull
+	}
+	// Insert keeping priority-descending order; new entries go after
+	// existing entries of the same priority.
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].Priority < e.Priority
+	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+	return nil
+}
+
+// Modify updates instructions of matching flows (non-strict: all flows
+// covered by the request match; strict: exact match + priority).
+// Counters and timeouts of modified flows are preserved.
+func (t *Table) Modify(match *Match, priority uint16, strict bool, instrs []openflow.Instruction) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.entries {
+		if strict {
+			if e.Priority != priority || !e.Match.Equal(match) {
+				continue
+			}
+		} else if !e.Match.CoveredBy(match) {
+			continue
+		}
+		e.Instructions = instrs
+		n++
+	}
+	if n > 0 {
+		t.version.Add(1)
+	}
+	return n
+}
+
+// Delete removes matching flows and returns them. Non-strict deletes
+// remove every flow covered by the request match; strict requires
+// exact equality. outPort filters to flows that output to that port
+// (PortAny = no filter).
+func (t *Table) Delete(match *Match, priority uint16, strict bool, outPort uint32) []Removed {
+	now := t.clock.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []Removed
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		del := false
+		if strict {
+			del = e.Priority == priority && e.Match.Equal(match)
+		} else {
+			del = e.Match.CoveredBy(match)
+		}
+		if del && !e.outputsTo(outPort) {
+			del = false
+		}
+		if del {
+			removed = append(removed, Removed{
+				Entry: e, Reason: openflow.FlowRemovedDelete,
+				TableID: t.id, Duration: now.Sub(e.created),
+			})
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	if len(removed) > 0 {
+		t.version.Add(1)
+	}
+	return removed
+}
+
+// ExpireEntries removes all timed-out entries and returns them.
+func (t *Table) ExpireEntries() []Removed {
+	now := t.clock.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []Removed
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if exp, reason := e.expired(now); exp {
+			removed = append(removed, Removed{
+				Entry: e, Reason: reason, TableID: t.id, Duration: now.Sub(e.created),
+			})
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	if len(removed) > 0 {
+		t.version.Add(1)
+	}
+	return removed
+}
+
+// Entries returns a snapshot of the table contents in priority order.
+func (t *Table) Entries() []*Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Entry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}

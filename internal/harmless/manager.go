@@ -1,0 +1,183 @@
+package harmless
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/mgmt"
+	"github.com/harmless-sdn/harmless/internal/netem"
+	"github.com/harmless-sdn/harmless/internal/snmp"
+	"github.com/harmless-sdn/harmless/internal/softswitch"
+)
+
+// Manager orchestrates a migration end to end, reproducing the
+// workflow of the paper's HARMLESS Manager (§2): query the legacy
+// switch (SNMP), configure its VLANs (vendor driver), instantiate
+// HARMLESS-S4, install the translator flows, and connect SS_2 to the
+// SDN controller.
+type Manager struct {
+	driver mgmt.Driver
+	snmp   *snmp.Client // optional discovery path
+	cfg    ManagerConfig
+
+	plan *Plan
+	s4   *S4
+}
+
+// ManagerConfig parameterizes a migration.
+type ManagerConfig struct {
+	// TrunkPort on the legacy switch (0 = highest port).
+	TrunkPort int
+	// AccessPorts to migrate (nil = all but the trunk).
+	AccessPorts []int
+	// BaseVLAN for the per-port VLANs (0 = 100).
+	BaseVLAN uint16
+	// DatapathID for SS_2 (0 = default).
+	DatapathID uint64
+	// Specialize enables the compiled fast path.
+	Specialize bool
+	// SweepInterval for flow expiry on SS_2 (0 = disabled).
+	SweepInterval time.Duration
+	// Clock injection for tests.
+	Clock netem.Clock
+}
+
+// NewManager creates a manager driving the device behind driver.
+// snmpClient may be nil; when present it is used for discovery just as
+// the paper's manager queries the switch over SNMP.
+func NewManager(driver mgmt.Driver, snmpClient *snmp.Client, cfg ManagerConfig) *Manager {
+	return &Manager{driver: driver, snmp: snmpClient, cfg: cfg}
+}
+
+// Plan returns the computed migration plan (nil before Deploy).
+func (m *Manager) Plan() *Plan { return m.plan }
+
+// S4 returns the instantiated group node (nil before Deploy).
+func (m *Manager) S4() *S4 { return m.s4 }
+
+// Discover queries the device identity, preferring SNMP.
+func (m *Manager) Discover() (*mgmt.Facts, error) {
+	if m.snmp != nil {
+		f, err := mgmt.DiscoverSNMP(m.snmp)
+		if err == nil {
+			return f, nil
+		}
+		// SNMP unreachable: fall through to the CLI.
+	}
+	return m.driver.Facts()
+}
+
+// Deploy executes the full migration:
+//
+//	discover -> plan -> configure legacy switch -> build S4 ->
+//	attach trunk -> connect controller.
+//
+// trunkPort is the server-side end of the link cabled to the legacy
+// switch's trunk; controllerConn is the transport to the SDN
+// controller (nil to defer connection, e.g. for staged bring-up).
+func (m *Manager) Deploy(trunkPort *netem.Port, controllerConn io.ReadWriteCloser) (*S4, error) {
+	facts, err := m.Discover()
+	if err != nil {
+		return nil, fmt.Errorf("harmless: discovery failed: %w", err)
+	}
+	plan, err := PlanMigration(PlanConfig{
+		Hostname:    facts.Hostname,
+		NumPorts:    facts.PortCount,
+		TrunkPort:   m.cfg.TrunkPort,
+		AccessPorts: m.cfg.AccessPorts,
+		BaseVLAN:    m.cfg.BaseVLAN,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.plan = plan
+
+	if err := m.configureLegacy(plan); err != nil {
+		return nil, fmt.Errorf("harmless: configuring %s: %w", facts.Hostname, err)
+	}
+
+	s4, err := BuildS4(plan, S4Config{
+		Name:       facts.Hostname,
+		DatapathID: m.cfg.DatapathID,
+		Specialize: m.cfg.Specialize,
+		Clock:      m.cfg.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s4.AttachTrunk(trunkPort)
+	if controllerConn != nil {
+		s4.ConnectController(controllerConn, m.cfg.SweepInterval)
+	}
+	m.s4 = s4
+	return s4, nil
+}
+
+// configureLegacy pushes the tagging layout through the vendor driver.
+func (m *Manager) configureLegacy(plan *Plan) error {
+	for _, port := range plan.MigratedPorts() {
+		vlan := plan.VLANForPort[port]
+		if err := m.driver.DeclareVLAN(vlan, fmt.Sprintf("harmless-p%d", port)); err != nil {
+			return err
+		}
+		if err := m.driver.ConfigureAccessPort(port, vlan); err != nil {
+			return err
+		}
+	}
+	return m.driver.ConfigureTrunkPort(plan.TrunkPort, plan.NativeVLAN, plan.TrunkVLANs())
+}
+
+// MigratePort extends a deployed migration by one more access port
+// (the incremental strategy): the legacy switch is reconfigured, a
+// patch pair is added, and the translator learns the new mapping.
+// The controller observes a new port on SS_2 via PORT_STATUS.
+func (m *Manager) MigratePort(port int) error {
+	if m.s4 == nil {
+		return fmt.Errorf("harmless: not deployed")
+	}
+	plan := m.plan
+	if _, done := plan.VLANForPort[port]; done {
+		return fmt.Errorf("harmless: port %d already migrated", port)
+	}
+	if port == plan.TrunkPort {
+		return fmt.Errorf("harmless: port %d is the trunk", port)
+	}
+	base := m.cfg.BaseVLAN
+	if base == 0 {
+		base = 100
+	}
+	vlan := base + uint16(port)
+	if err := m.driver.DeclareVLAN(vlan, fmt.Sprintf("harmless-p%d", port)); err != nil {
+		return err
+	}
+	if err := m.driver.ConfigureAccessPort(port, vlan); err != nil {
+		return err
+	}
+	plan.VLANForPort[port] = vlan
+	if err := m.driver.ConfigureTrunkPort(plan.TrunkPort, plan.NativeVLAN, plan.TrunkVLANs()); err != nil {
+		return err
+	}
+	// Wire the new logical port and extend the translator (the two
+	// new rules are simple FLOW_MOD adds; existing rules are
+	// untouched, so traffic on already-migrated ports is unaffected —
+	// the "no flag day" property).
+	softConnectPatch(m.s4, uint32(port))
+	onePortPlan := &Plan{
+		TrunkPort:   plan.TrunkPort,
+		VLANForPort: map[int]uint16{port: vlan},
+		NativeVLAN:  plan.NativeVLAN,
+	}
+	return InstallTranslator(m.s4.SS1, onePortPlan)
+}
+
+// softConnectPatch adds the patch pair for a logical port on a live
+// S4, guarding against double wiring.
+func softConnectPatch(s4 *S4, logical uint32) {
+	for _, existing := range s4.SS2.PortNumbers() {
+		if existing == logical {
+			return
+		}
+	}
+	softswitch.ConnectPatch(s4.SS1, SS1PatchBase+logical, s4.SS2, logical)
+}

@@ -1,0 +1,97 @@
+package harmless
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/harmless-sdn/harmless/internal/openflow"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+	"github.com/harmless-sdn/harmless/internal/softswitch"
+)
+
+// SS_1 port-numbering convention inside HARMLESS-S4.
+const (
+	// SS1TrunkPort is SS_1's uplink to the legacy switch trunk.
+	SS1TrunkPort uint32 = 1
+	// SS1PatchBase + logicalPort is SS_1's patch port towards SS_2's
+	// logical port.
+	SS1PatchBase uint32 = 1000
+)
+
+// translatorPriority is the priority of all generated rules; they are
+// mutually exclusive so a single level suffices.
+const translatorPriority uint16 = 100
+
+// TranslatorRules generates the SS_1 OpenFlow program realizing the
+// paper's "OpenFlow Translator Component": the adaptation layer that
+// dispatches packets between the VLAN-tagged trunk and per-port patch
+// ports, so the main switch never sees VLAN ids (Fig. 1, Flow table of
+// SS_1). The rules are plain FLOW_MODs — SS_1 is an unmodified
+// software switch instance, exactly as in the paper.
+func TranslatorRules(plan *Plan) []*openflow.FlowMod {
+	var out []*openflow.FlowMod
+	add := func(match openflow.Match, actions ...openflow.Action) {
+		out = append(out, &openflow.FlowMod{
+			TableID:  0,
+			Command:  openflow.FlowAdd,
+			Priority: translatorPriority,
+			BufferID: openflow.NoBuffer,
+			OutPort:  openflow.PortAny,
+			OutGroup: openflow.GroupAny,
+			Match:    match,
+			Instructions: []openflow.Instruction{
+				&openflow.InstrApplyActions{Actions: actions},
+			},
+		})
+	}
+
+	for _, port := range plan.MigratedPorts() {
+		vlan := plan.VLANForPort[port]
+		patch := SS1PatchBase + uint32(port)
+
+		// Trunk ingress tagged with this port's VLAN: strip the tag
+		// and hand to the main switch on the matching patch port.
+		in := openflow.Match{}
+		in.WithInPort(SS1TrunkPort).WithVLAN(vlan)
+		add(in,
+			&openflow.ActionPopVLAN{},
+			&openflow.ActionOutput{Port: patch, MaxLen: 0xffff},
+		)
+
+		// Patch ingress from the main switch: tag with this port's
+		// VLAN and hairpin back to the legacy switch.
+		vidVal := make([]byte, 2)
+		binary.BigEndian.PutUint16(vidVal, vlan|openflow.OXMVIDPresent)
+		outM := openflow.Match{}
+		outM.WithInPort(patch)
+		add(outM,
+			&openflow.ActionPushVLAN{EtherType: pkt.EtherTypeDot1Q},
+			&openflow.ActionSetField{OXM: openflow.OXM{Field: openflow.OXMVLANVID, Value: vidVal}},
+			&openflow.ActionOutput{Port: SS1TrunkPort, MaxLen: 0xffff},
+		)
+	}
+
+	if plan.LegacySegment {
+		patch := SS1PatchBase + plan.LegacySegmentPort
+		// Untagged trunk ingress is the unmigrated segment (trunk
+		// native VLAN): no tag manipulation either way.
+		in := openflow.Match{}
+		in.WithInPort(SS1TrunkPort).WithNoVLAN()
+		add(in, &openflow.ActionOutput{Port: patch, MaxLen: 0xffff})
+
+		outM := openflow.Match{}
+		outM.WithInPort(patch)
+		add(outM, &openflow.ActionOutput{Port: SS1TrunkPort, MaxLen: 0xffff})
+	}
+	return out
+}
+
+// InstallTranslator programs ss1 with the rules for plan.
+func InstallTranslator(ss1 *softswitch.Switch, plan *Plan) error {
+	for _, fm := range TranslatorRules(plan) {
+		if _, err := ss1.ApplyFlowMod(fm); err != nil {
+			return fmt.Errorf("harmless: installing translator rule %s: %w", fm, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package legacy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PortMode is the 802.1Q role of a switch port.
+type PortMode int
+
+// Port modes.
+const (
+	// ModeAccess: untagged ingress classified into PVID; egress
+	// untagged; tagged ingress accepted only if it matches PVID.
+	ModeAccess PortMode = iota
+	// ModeTrunk: tagged ingress accepted for allowed VLANs; egress
+	// tagged (except the native VLAN, which travels untagged).
+	ModeTrunk
+)
+
+// String implements fmt.Stringer.
+func (m PortMode) String() string {
+	switch m {
+	case ModeAccess:
+		return "access"
+	case ModeTrunk:
+		return "trunk"
+	}
+	return fmt.Sprintf("PortMode(%d)", int(m))
+}
+
+// DefaultVLAN is the factory-default VLAN of every port.
+const DefaultVLAN uint16 = 1
+
+// MaxVLAN is the highest valid 802.1Q VLAN id (4095 is reserved).
+const MaxVLAN uint16 = 4094
+
+// PortConfig is the administrative configuration of one port.
+type PortConfig struct {
+	Mode     PortMode
+	PVID     uint16          // access VLAN, or native VLAN on a trunk
+	Allowed  map[uint16]bool // trunk allowed set; nil means "all"
+	Shutdown bool
+	Name     string // interface name as shown by the CLI
+}
+
+// clone returns a deep copy.
+func (pc *PortConfig) clone() *PortConfig {
+	c := *pc
+	if pc.Allowed != nil {
+		c.Allowed = make(map[uint16]bool, len(pc.Allowed))
+		for k, v := range pc.Allowed {
+			c.Allowed[k] = v
+		}
+	}
+	return &c
+}
+
+// allows reports whether the port carries the given VLAN.
+func (pc *PortConfig) allows(vlan uint16) bool {
+	switch pc.Mode {
+	case ModeAccess:
+		return pc.PVID == vlan
+	case ModeTrunk:
+		if pc.Allowed == nil {
+			return true
+		}
+		return pc.Allowed[vlan]
+	}
+	return false
+}
+
+// AllowedList returns the sorted trunk allowed VLANs (nil = all).
+func (pc *PortConfig) AllowedList() []uint16 {
+	if pc.Allowed == nil {
+		return nil
+	}
+	out := make([]uint16, 0, len(pc.Allowed))
+	for v, ok := range pc.Allowed {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Config is the administrative configuration of the whole switch.
+type Config struct {
+	Hostname string
+	Ports    map[int]*PortConfig // keyed by 1-based port number
+	VLANs    map[uint16]string   // declared VLANs with names
+}
+
+// NewDefaultConfig returns a factory-default configuration for a
+// switch with n ports: all access ports in VLAN 1.
+func NewDefaultConfig(hostname string, n int) *Config {
+	c := &Config{
+		Hostname: hostname,
+		Ports:    make(map[int]*PortConfig, n),
+		VLANs:    map[uint16]string{DefaultVLAN: "default"},
+	}
+	for i := 1; i <= n; i++ {
+		c.Ports[i] = &PortConfig{
+			Mode: ModeAccess,
+			PVID: DefaultVLAN,
+			Name: fmt.Sprintf("GigabitEthernet0/%d", i),
+		}
+	}
+	return c
+}
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	for n, p := range c.Ports {
+		if p.PVID < 1 || p.PVID > MaxVLAN {
+			return fmt.Errorf("legacy: port %d: PVID %d out of range", n, p.PVID)
+		}
+		for v := range p.Allowed {
+			if v < 1 || v > MaxVLAN {
+				return fmt.Errorf("legacy: port %d: allowed VLAN %d out of range", n, v)
+			}
+		}
+	}
+	for v := range c.VLANs {
+		if v < 1 || v > MaxVLAN {
+			return fmt.Errorf("legacy: VLAN %d out of range", v)
+		}
+	}
+	return nil
+}
+
+// clone returns a deep copy.
+func (c *Config) clone() *Config {
+	nc := &Config{
+		Hostname: c.Hostname,
+		Ports:    make(map[int]*PortConfig, len(c.Ports)),
+		VLANs:    make(map[uint16]string, len(c.VLANs)),
+	}
+	for n, p := range c.Ports {
+		nc.Ports[n] = p.clone()
+	}
+	for v, name := range c.VLANs {
+		nc.VLANs[v] = name
+	}
+	return nc
+}
+
+// PortNumbers returns the sorted port numbers.
+func (c *Config) PortNumbers() []int {
+	out := make([]int, 0, len(c.Ports))
+	for n := range c.Ports {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

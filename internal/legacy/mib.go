@@ -1,0 +1,166 @@
+package legacy
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/harmless-sdn/harmless/internal/snmp"
+)
+
+// SNMP object identifiers exposed by the emulated switch. The system
+// and interfaces groups follow RFC 1213/2863; the writable per-port
+// VLAN objects live under a private enterprise arc, standing in for
+// the vendor VLAN MIBs real devices expose (e.g. CISCO-VLAN-MEMBERSHIP-
+// MIB), which is how SNMP-driven managers like the paper's configure
+// port VLANs.
+var (
+	OIDSysDescr    = snmp.MustOID("1.3.6.1.2.1.1.1.0")
+	OIDSysObjectID = snmp.MustOID("1.3.6.1.2.1.1.2.0")
+	OIDSysUpTime   = snmp.MustOID("1.3.6.1.2.1.1.3.0")
+	OIDSysName     = snmp.MustOID("1.3.6.1.2.1.1.5.0")
+	OIDIfNumber    = snmp.MustOID("1.3.6.1.2.1.2.1.0")
+	OIDIfTable     = snmp.MustOID("1.3.6.1.2.1.2.2.1")
+
+	// Enterprise arc for the emulated vendor.
+	OIDEnterprise = snmp.MustOID("1.3.6.1.4.1.55555")
+	// harmlessPortMode.<ifIndex>: 1=access, 2=trunk (read-write).
+	OIDPortModeTable = OIDEnterprise.Append(1, 1)
+	// harmlessPortPVID.<ifIndex>: access VLAN / trunk native (read-write).
+	OIDPortPVIDTable = OIDEnterprise.Append(1, 2)
+	// harmlessPortTrunkAllowed.<ifIndex>: comma list, e.g. "101,102"
+	// (read-write; empty string = all VLANs).
+	OIDPortAllowedTable = OIDEnterprise.Append(1, 3)
+)
+
+// ifTable column numbers used below.
+const (
+	ifIndexCol     = 1
+	ifDescrCol     = 2
+	ifOperStatus   = 8
+	ifInOctetsCol  = 10
+	ifInUcastCol   = 11
+	ifOutOctetsCol = 16
+	ifOutUcastCol  = 17
+)
+
+// BindMIB registers the switch's management objects into mib. The
+// dialect only affects cosmetic strings (interface names, sysDescr).
+func BindMIB(sw *Switch, mib *snmp.MIB, dialect Dialect) {
+	mib.RegisterReadOnly(OIDSysDescr, func() snmp.Value {
+		return snmp.OctetString(fmt.Sprintf("%s (%s emulation)", sw.Model(), dialect))
+	})
+	mib.RegisterReadOnly(OIDSysObjectID, func() snmp.Value {
+		return snmp.ObjectIdentifier(OIDEnterprise.Append(uint32(dialect) + 1))
+	})
+	mib.RegisterReadOnly(OIDSysUpTime, func() snmp.Value {
+		return snmp.TimeTicks(sw.Uptime().Milliseconds() / 10)
+	})
+	mib.Register(OIDSysName,
+		func() snmp.Value { return snmp.OctetString(sw.Hostname()) },
+		func(v snmp.Value) error {
+			s, ok := v.(snmp.OctetString)
+			if !ok {
+				return &snmp.SetError{Status: snmp.ErrWrongType, Reason: "sysName wants a string"}
+			}
+			sw.SetHostname(string(s))
+			return nil
+		})
+	mib.RegisterReadOnly(OIDIfNumber, func() snmp.Value {
+		return snmp.Integer(sw.NumPorts())
+	})
+
+	for i := 1; i <= sw.NumPorts(); i++ {
+		port := i
+		idx := uint32(i)
+		mib.RegisterReadOnly(OIDIfTable.Append(ifIndexCol, idx), func() snmp.Value {
+			return snmp.Integer(port)
+		})
+		mib.RegisterReadOnly(OIDIfTable.Append(ifDescrCol, idx), func() snmp.Value {
+			return snmp.OctetString(dialect.IfName(port))
+		})
+		mib.RegisterReadOnly(OIDIfTable.Append(ifOperStatus, idx), func() snmp.Value {
+			cfg := sw.Config()
+			if pc := cfg.Ports[port]; pc != nil && !pc.Shutdown && sw.PortAttached(port) {
+				return snmp.Integer(1) // up
+			}
+			return snmp.Integer(2) // down
+		})
+		mib.RegisterReadOnly(OIDIfTable.Append(ifInOctetsCol, idx), func() snmp.Value {
+			return snmp.Counter32(uint32(sw.PortCounters(port).RxBytes.Load()))
+		})
+		mib.RegisterReadOnly(OIDIfTable.Append(ifInUcastCol, idx), func() snmp.Value {
+			return snmp.Counter32(uint32(sw.PortCounters(port).RxPackets.Load()))
+		})
+		mib.RegisterReadOnly(OIDIfTable.Append(ifOutOctetsCol, idx), func() snmp.Value {
+			return snmp.Counter32(uint32(sw.PortCounters(port).TxBytes.Load()))
+		})
+		mib.RegisterReadOnly(OIDIfTable.Append(ifOutUcastCol, idx), func() snmp.Value {
+			return snmp.Counter32(uint32(sw.PortCounters(port).TxPackets.Load()))
+		})
+
+		mib.Register(OIDPortModeTable.Append(idx),
+			func() snmp.Value {
+				if sw.Config().Ports[port].Mode == ModeTrunk {
+					return snmp.Integer(2)
+				}
+				return snmp.Integer(1)
+			},
+			func(v snmp.Value) error {
+				iv, ok := v.(snmp.Integer)
+				if !ok {
+					return &snmp.SetError{Status: snmp.ErrWrongType, Reason: "mode wants integer"}
+				}
+				cfg := sw.Config()
+				pc := cfg.Ports[port]
+				switch iv {
+				case 1:
+					return sw.SetPortAccess(port, pc.PVID)
+				case 2:
+					return sw.SetPortTrunk(port, pc.PVID, pc.AllowedList())
+				}
+				return &snmp.SetError{Status: snmp.ErrBadValue, Reason: "mode must be 1 or 2"}
+			})
+		mib.Register(OIDPortPVIDTable.Append(idx),
+			func() snmp.Value { return snmp.Integer(sw.Config().Ports[port].PVID) },
+			func(v snmp.Value) error {
+				iv, ok := v.(snmp.Integer)
+				if !ok {
+					return &snmp.SetError{Status: snmp.ErrWrongType, Reason: "pvid wants integer"}
+				}
+				if iv < 1 || iv > snmp.Integer(MaxVLAN) {
+					return &snmp.SetError{Status: snmp.ErrBadValue, Reason: "pvid out of range"}
+				}
+				cfg := sw.Config()
+				pc := cfg.Ports[port]
+				if pc.Mode == ModeTrunk {
+					return sw.SetPortTrunk(port, uint16(iv), pc.AllowedList())
+				}
+				return sw.SetPortAccess(port, uint16(iv))
+			})
+		mib.Register(OIDPortAllowedTable.Append(idx),
+			func() snmp.Value {
+				al := sw.Config().Ports[port].AllowedList()
+				parts := make([]string, len(al))
+				for i, v := range al {
+					parts[i] = fmt.Sprintf("%d", v)
+				}
+				return snmp.OctetString(strings.Join(parts, ","))
+			},
+			func(v snmp.Value) error {
+				s, ok := v.(snmp.OctetString)
+				if !ok {
+					return &snmp.SetError{Status: snmp.ErrWrongType, Reason: "allowed wants string"}
+				}
+				cfg := sw.Config()
+				pc := cfg.Ports[port]
+				if len(s) == 0 {
+					return sw.SetPortTrunk(port, pc.PVID, nil)
+				}
+				vlans, err := parseVLANList(string(s))
+				if err != nil {
+					return &snmp.SetError{Status: snmp.ErrBadValue, Reason: err.Error()}
+				}
+				return sw.SetPortTrunk(port, pc.PVID, vlans)
+			})
+	}
+}

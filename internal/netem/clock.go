@@ -1,0 +1,65 @@
+// Package netem emulates the physical substrate HARMLESS runs on:
+// full-duplex point-to-point links between device ports, with optional
+// latency, bandwidth and loss models. It replaces the wires, NICs and
+// DPDK plumbing of the paper's testbed while preserving what the
+// evaluation depends on: hop count, FIFO ordering per direction, and
+// serialization/propagation delay.
+//
+// Links run in one of two modes:
+//
+//   - Synchronous (default): Send delivers the frame to the peer's
+//     receiver in the calling goroutine. Deterministic and fast; used
+//     by unit tests and the throughput benchmarks where queueing is
+//     not under study. Devices must not hold locks while sending (a
+//     hairpinned frame can re-enter the sending device on the same
+//     stack).
+//
+//   - Asynchronous: each direction has a FIFO queue drained by its own
+//     goroutine which applies the latency/bandwidth model in real
+//     time. Used by the latency experiments (E3).
+package netem
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so that aging and timeout logic in the devices
+// is testable without real sleeps.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// RealClock reads the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// ManualClock is a Clock that only moves when Advance is called.
+// The zero value starts at a fixed arbitrary epoch; safe for
+// concurrent use.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock returns a manual clock starting at a fixed epoch.
+func NewManualClock() *ManualClock {
+	return &ManualClock{t: time.Date(2017, 8, 22, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now implements Clock.
+func (m *ManualClock) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+// Advance moves the clock forward by d.
+func (m *ManualClock) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.t = m.t.Add(d)
+	m.mu.Unlock()
+}

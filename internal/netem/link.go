@@ -1,0 +1,219 @@
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/stats"
+)
+
+// ErrLinkClosed is returned by Send after Close.
+var ErrLinkClosed = errors.New("netem: link closed")
+
+// Receiver consumes frames arriving at a port. The frame slice is owned
+// by the receiver after the call (ownership transfer, no copies on the
+// fast path).
+type Receiver func(frame []byte)
+
+// LinkConfig parameterizes a link. The zero value is a synchronous,
+// lossless, zero-latency, infinite-bandwidth link — the configuration
+// used by deterministic tests.
+type LinkConfig struct {
+	// Async selects queued goroutine delivery with the timing model.
+	Async bool
+	// Latency is the one-way propagation delay (async mode only).
+	Latency time.Duration
+	// BandwidthBps is the line rate in bits/s; 0 means infinite
+	// (async mode only).
+	BandwidthBps float64
+	// LossProb is the independent per-frame drop probability [0,1).
+	LossProb float64
+	// QueueLen is the per-direction queue capacity in frames for
+	// async mode; 0 means a default of 512. Frames arriving at a full
+	// queue are tail-dropped.
+	QueueLen int
+	// Seed seeds the loss process; links with the same seed drop the
+	// same frames.
+	Seed int64
+	// Name is used in diagnostics.
+	Name string
+}
+
+// Link is a full-duplex point-to-point link with two Ports.
+type Link struct {
+	cfg  LinkConfig
+	a, b *Port
+
+	lossMu sync.Mutex
+	rng    *rand.Rand
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// Port is one end of a Link. A device attaches by calling SetReceiver
+// and transmits with Send.
+type Port struct {
+	link     *Link
+	peer     *Port
+	name     string
+	counters stats.PortCounters
+
+	recvMu   sync.RWMutex
+	receiver Receiver
+
+	// async state (nil in sync mode)
+	queue chan []byte
+	// timing model state, owned by the sender side
+	timeMu   sync.Mutex
+	nextFree time.Time
+}
+
+// NewLink creates a link with the given configuration and returns it;
+// its two ends are available via A and B.
+func NewLink(cfg LinkConfig) *Link {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 512
+	}
+	l := &Link{cfg: cfg, done: make(chan struct{})}
+	if cfg.LossProb > 0 {
+		l.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	l.a = &Port{link: l, name: cfg.Name + "/A"}
+	l.b = &Port{link: l, name: cfg.Name + "/B"}
+	l.a.peer, l.b.peer = l.b, l.a
+	if cfg.Async {
+		l.a.queue = make(chan []byte, cfg.QueueLen)
+		l.b.queue = make(chan []byte, cfg.QueueLen)
+		go l.pump(l.a) // drains frames sent BY a, delivers to b
+		go l.pump(l.b)
+	}
+	return l
+}
+
+// A returns the first port.
+func (l *Link) A() *Port { return l.a }
+
+// B returns the second port.
+func (l *Link) B() *Port { return l.b }
+
+// Close shuts the link down; subsequent Sends fail with ErrLinkClosed.
+func (l *Link) Close() {
+	l.closeOnce.Do(func() { close(l.done) })
+}
+
+func (l *Link) dropped() bool {
+	if l.rng == nil {
+		return false
+	}
+	l.lossMu.Lock()
+	defer l.lossMu.Unlock()
+	return l.rng.Float64() < l.cfg.LossProb
+}
+
+// pump drains the queue of frames sent by p and delivers them to the
+// peer, applying the latency/bandwidth model in real time.
+func (l *Link) pump(p *Port) {
+	for {
+		select {
+		case <-l.done:
+			return
+		case frame := <-p.queue:
+			arrival := l.schedule(p, len(frame))
+			if d := time.Until(arrival); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-l.done:
+					return
+				}
+			}
+			p.peer.deliver(frame)
+		}
+	}
+}
+
+// schedule computes the arrival time of a frame of size n sent by p,
+// advancing the sender's serialization horizon.
+func (l *Link) schedule(p *Port, n int) time.Time {
+	now := time.Now()
+	p.timeMu.Lock()
+	start := p.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	var ser time.Duration
+	if l.cfg.BandwidthBps > 0 {
+		ser = time.Duration(float64(n*8) / l.cfg.BandwidthBps * float64(time.Second))
+	}
+	p.nextFree = start.Add(ser)
+	dep := p.nextFree
+	p.timeMu.Unlock()
+	return dep.Add(l.cfg.Latency)
+}
+
+// Name returns the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// Counters exposes the port's statistics.
+func (p *Port) Counters() *stats.PortCounters { return &p.counters }
+
+// SetReceiver installs the function invoked for every frame arriving
+// at this port. It may be called again to replace the receiver.
+func (p *Port) SetReceiver(r Receiver) {
+	p.recvMu.Lock()
+	p.receiver = r
+	p.recvMu.Unlock()
+}
+
+// WrapReceiver replaces the current receiver with wrap(current) —
+// used to interpose taps/captures after a device has attached.
+func (p *Port) WrapReceiver(wrap func(Receiver) Receiver) {
+	p.recvMu.Lock()
+	p.receiver = wrap(p.receiver)
+	p.recvMu.Unlock()
+}
+
+// Send transmits a frame towards the peer port. In synchronous mode
+// the peer's receiver runs on the calling goroutine; in asynchronous
+// mode the frame is queued (tail-drop on overflow). The caller
+// relinquishes ownership of the slice.
+func (p *Port) Send(frame []byte) error {
+	select {
+	case <-p.link.done:
+		return ErrLinkClosed
+	default:
+	}
+	p.counters.RecordTx(len(frame))
+	if p.link.dropped() {
+		p.counters.TxDropped.Inc()
+		return nil
+	}
+	if p.queue == nil { // synchronous
+		p.peer.deliver(frame)
+		return nil
+	}
+	select {
+	case p.queue <- frame:
+	default:
+		p.counters.TxDropped.Inc()
+	}
+	return nil
+}
+
+func (p *Port) deliver(frame []byte) {
+	p.counters.RecordRx(len(frame))
+	p.recvMu.RLock()
+	r := p.receiver
+	p.recvMu.RUnlock()
+	if r == nil {
+		p.counters.RxDropped.Inc()
+		return
+	}
+	r(frame)
+}
+
+// String identifies the port.
+func (p *Port) String() string { return fmt.Sprintf("port(%s)", p.name) }

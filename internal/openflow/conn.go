@@ -1,0 +1,145 @@
+package openflow
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn frames OpenFlow messages over a byte stream and assigns
+// transaction ids. Writes are queued to a dedicated writer goroutine,
+// so Send never blocks on transport backpressure (both OpenFlow peers
+// send HELLO before reading; over an unbuffered transport like
+// net.Pipe synchronous writes would deadlock). Reads and writes may
+// proceed concurrently.
+type Conn struct {
+	rw        io.ReadWriteCloser
+	out       chan []byte
+	done      chan struct{}
+	closeOnce sync.Once
+	writeErr  atomic.Pointer[error]
+	nextXID   atomic.Uint32
+}
+
+// outboundQueueLen bounds the number of queued unsent messages; a full
+// queue makes Send block (flow control towards a dead peer).
+const outboundQueueLen = 1024
+
+// NewConn wraps a transport (TCP connection or net.Pipe end) and
+// starts its writer.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	c := &Conn{
+		rw:   rw,
+		out:  make(chan []byte, outboundQueueLen),
+		done: make(chan struct{}),
+	}
+	c.nextXID.Store(1)
+	go c.writer()
+	return c
+}
+
+func (c *Conn) writer() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case frame := <-c.out:
+			if _, err := c.rw.Write(frame); err != nil {
+				werr := fmt.Errorf("openflow: write: %w", err)
+				c.writeErr.Store(&werr)
+				c.Close()
+				return
+			}
+		}
+	}
+}
+
+// AllocXID returns a fresh transaction id.
+func (c *Conn) AllocXID() uint32 { return c.nextXID.Add(1) }
+
+// Send marshals and queues m for transmission, assigning a transaction
+// id if unset. It returns immediately unless the outbound queue is
+// full; an error is returned if the connection is closed or a previous
+// write failed.
+func (c *Conn) Send(m Message) error {
+	if err := c.writeErr.Load(); err != nil {
+		return *err
+	}
+	if m.XID() == 0 {
+		m.SetXID(c.AllocXID())
+	}
+	frame, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	select {
+	case <-c.done:
+		return fmt.Errorf("openflow: connection closed")
+	case c.out <- frame:
+		return nil
+	}
+}
+
+// Recv reads the next message (blocking).
+func (c *Conn) Recv() (Message, error) {
+	return ReadMessage(c.rw)
+}
+
+// Close tears down the transport. Safe to call multiple times.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.done)
+		err = c.rw.Close()
+	})
+	return err
+}
+
+// Handshake performs the controller-side HELLO + FEATURES exchange and
+// returns the switch's features. Any asynchronous message arriving
+// during the handshake is delivered to early (may be nil).
+func (c *Conn) Handshake(early func(Message)) (*FeaturesReply, error) {
+	if err := c.Send(&Hello{}); err != nil {
+		return nil, err
+	}
+	// Wait for the peer's HELLO.
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if m.MsgType() == TypeHello {
+			break
+		}
+		if e, ok := m.(*Error); ok {
+			return nil, e
+		}
+		if early != nil {
+			early(m)
+		}
+	}
+	if err := c.Send(&FeaturesRequest{}); err != nil {
+		return nil, err
+	}
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return nil, err
+		}
+		switch t := m.(type) {
+		case *FeaturesReply:
+			return t, nil
+		case *Error:
+			return nil, t
+		case *EchoRequest:
+			if err := c.Send(&EchoReply{Data: t.Data, xid: xid{Xid: t.Xid}}); err != nil {
+				return nil, err
+			}
+		default:
+			if early != nil {
+				early(m)
+			}
+		}
+	}
+}

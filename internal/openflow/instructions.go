@@ -1,0 +1,194 @@
+package openflow
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Instruction type codes (ofp_instruction_type).
+const (
+	InstrTypeGotoTable    uint16 = 1
+	InstrTypeWriteActions uint16 = 3
+	InstrTypeApplyActions uint16 = 4
+	InstrTypeClearActions uint16 = 5
+	InstrTypeMeter        uint16 = 6
+)
+
+// Instruction is one flow-entry instruction.
+type Instruction interface {
+	// InstrType returns the ofp_instruction_type code.
+	InstrType() uint16
+	// marshal encodes the instruction.
+	marshal() ([]byte, error)
+	// String renders the instruction.
+	String() string
+}
+
+// InstrGotoTable continues the pipeline at another table.
+type InstrGotoTable struct {
+	TableID uint8
+}
+
+// InstrType implements Instruction.
+func (i *InstrGotoTable) InstrType() uint16 { return InstrTypeGotoTable }
+
+func (i *InstrGotoTable) marshal() ([]byte, error) {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint16(buf[0:2], InstrTypeGotoTable)
+	binary.BigEndian.PutUint16(buf[2:4], 8)
+	buf[4] = i.TableID
+	return buf, nil
+}
+
+// String implements Instruction.
+func (i *InstrGotoTable) String() string { return fmt.Sprintf("goto_table:%d", i.TableID) }
+
+// InstrApplyActions executes actions immediately.
+type InstrApplyActions struct {
+	Actions []Action
+}
+
+// InstrType implements Instruction.
+func (i *InstrApplyActions) InstrType() uint16 { return InstrTypeApplyActions }
+
+func (i *InstrApplyActions) marshal() ([]byte, error) {
+	acts, err := marshalActions(i.Actions)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8+len(acts))
+	binary.BigEndian.PutUint16(buf[0:2], InstrTypeApplyActions)
+	binary.BigEndian.PutUint16(buf[2:4], uint16(len(buf)))
+	copy(buf[8:], acts)
+	return buf, nil
+}
+
+// String implements Instruction.
+func (i *InstrApplyActions) String() string { return "apply(" + actionsString(i.Actions) + ")" }
+
+// InstrWriteActions merges actions into the action set.
+type InstrWriteActions struct {
+	Actions []Action
+}
+
+// InstrType implements Instruction.
+func (i *InstrWriteActions) InstrType() uint16 { return InstrTypeWriteActions }
+
+func (i *InstrWriteActions) marshal() ([]byte, error) {
+	acts, err := marshalActions(i.Actions)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8+len(acts))
+	binary.BigEndian.PutUint16(buf[0:2], InstrTypeWriteActions)
+	binary.BigEndian.PutUint16(buf[2:4], uint16(len(buf)))
+	copy(buf[8:], acts)
+	return buf, nil
+}
+
+// String implements Instruction.
+func (i *InstrWriteActions) String() string { return "write(" + actionsString(i.Actions) + ")" }
+
+// InstrClearActions empties the action set.
+type InstrClearActions struct{}
+
+// InstrType implements Instruction.
+func (i *InstrClearActions) InstrType() uint16 { return InstrTypeClearActions }
+
+func (i *InstrClearActions) marshal() ([]byte, error) {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint16(buf[0:2], InstrTypeClearActions)
+	binary.BigEndian.PutUint16(buf[2:4], 8)
+	return buf, nil
+}
+
+// String implements Instruction.
+func (i *InstrClearActions) String() string { return "clear_actions" }
+
+// InstrMeter directs the packet through a meter first.
+type InstrMeter struct {
+	MeterID uint32
+}
+
+// InstrType implements Instruction.
+func (i *InstrMeter) InstrType() uint16 { return InstrTypeMeter }
+
+func (i *InstrMeter) marshal() ([]byte, error) {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint16(buf[0:2], InstrTypeMeter)
+	binary.BigEndian.PutUint16(buf[2:4], 8)
+	binary.BigEndian.PutUint32(buf[4:8], i.MeterID)
+	return buf, nil
+}
+
+// String implements Instruction.
+func (i *InstrMeter) String() string { return fmt.Sprintf("meter:%d", i.MeterID) }
+
+// marshalInstructions concatenates instruction encodings.
+func marshalInstructions(instrs []Instruction) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, in := range instrs {
+		b, err := in.marshal()
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(b)
+	}
+	return buf.Bytes(), nil
+}
+
+// unmarshalInstructions decodes a packed instruction list.
+func unmarshalInstructions(data []byte) ([]Instruction, error) {
+	var out []Instruction
+	for len(data) > 0 {
+		if len(data) < 8 {
+			return nil, fmt.Errorf("openflow: truncated instruction header")
+		}
+		typ := binary.BigEndian.Uint16(data[0:2])
+		ilen := int(binary.BigEndian.Uint16(data[2:4]))
+		if ilen < 8 || ilen > len(data) {
+			return nil, fmt.Errorf("openflow: bad instruction length %d", ilen)
+		}
+		body := data[:ilen]
+		switch typ {
+		case InstrTypeGotoTable:
+			out = append(out, &InstrGotoTable{TableID: body[4]})
+		case InstrTypeApplyActions:
+			acts, err := unmarshalActions(body[8:])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &InstrApplyActions{Actions: acts})
+		case InstrTypeWriteActions:
+			acts, err := unmarshalActions(body[8:])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &InstrWriteActions{Actions: acts})
+		case InstrTypeClearActions:
+			out = append(out, &InstrClearActions{})
+		case InstrTypeMeter:
+			out = append(out, &InstrMeter{MeterID: binary.BigEndian.Uint32(body[4:8])})
+		default:
+			return nil, fmt.Errorf("openflow: unsupported instruction type %d", typ)
+		}
+		data = data[ilen:]
+	}
+	return out, nil
+}
+
+// instructionsString renders an instruction list.
+func instructionsString(instrs []Instruction) string {
+	var b bytes.Buffer
+	for i, in := range instrs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(in.String())
+	}
+	if b.Len() == 0 {
+		return "drop"
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package pkt
+
+import "encoding/binary"
+
+// Internet checksum (RFC 1071) helpers, plus the incremental-update
+// form (RFC 1624) used by the in-place field mutators so that rewriting
+// an IP address or L4 port does not require re-summing the payload.
+
+// onesSum accumulates the 16-bit one's-complement sum of data into sum.
+// The caller folds and complements at the end.
+func onesSum(data []byte, sum uint32) uint32 {
+	n := len(data)
+	i := 0
+	for ; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if i < n { // odd trailing byte, padded with zero
+		sum += uint32(data[i]) << 8
+	}
+	return sum
+}
+
+// foldChecksum folds a 32-bit accumulated sum into a 16-bit
+// one's-complement checksum.
+func foldChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// Checksum computes the Internet checksum over data.
+func Checksum(data []byte) uint16 {
+	return foldChecksum(onesSum(data, 0))
+}
+
+// pseudoHeaderSum computes the partial sum of the IPv4 pseudo-header
+// used by TCP and UDP checksums.
+func pseudoHeaderSum(src, dst IPv4, proto uint8, l4len uint16) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}
+
+// L4Checksum computes a TCP or UDP checksum including the IPv4
+// pseudo-header. segment must contain the full L4 header and payload
+// with the checksum field zeroed.
+func L4Checksum(src, dst IPv4, proto uint8, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, uint16(len(segment)))
+	return foldChecksum(onesSum(segment, sum))
+}
+
+// updateChecksum16 applies the RFC 1624 incremental update to the
+// checksum stored at cksum[0:2] when a 16-bit word changes from old to
+// new: HC' = ~(~HC + ~m + m').
+func updateChecksum16(cksum []byte, old, new uint16) {
+	hc := binary.BigEndian.Uint16(cksum)
+	sum := uint32(^hc) + uint32(^old) + uint32(new)
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	binary.BigEndian.PutUint16(cksum, ^uint16(sum))
+}
+
+// updateChecksum32 is updateChecksum16 for a 32-bit field (two words).
+func updateChecksum32(cksum []byte, old, new uint32) {
+	updateChecksum16(cksum, uint16(old>>16), uint16(new>>16))
+	updateChecksum16(cksum, uint16(old), uint16(new))
+}

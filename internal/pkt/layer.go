@@ -1,0 +1,89 @@
+package pkt
+
+import "fmt"
+
+// LayerType identifies a protocol layer within a decoded packet.
+type LayerType uint8
+
+// Layer types understood by this package.
+const (
+	LayerTypeNone LayerType = iota
+	LayerTypeEthernet
+	LayerTypeDot1Q
+	LayerTypeARP
+	LayerTypeIPv4
+	LayerTypeIPv6
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypeICMPv4
+	LayerTypeDNS
+	LayerTypePayload
+)
+
+// String returns the conventional protocol name.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeNone:
+		return "None"
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeDot1Q:
+		return "Dot1Q"
+	case LayerTypeARP:
+		return "ARP"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeIPv6:
+		return "IPv6"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeICMPv4:
+		return "ICMPv4"
+	case LayerTypeDNS:
+		return "DNS"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return fmt.Sprintf("LayerType(%d)", uint8(t))
+}
+
+// Layer is one decoded protocol layer. Implementations are the concrete
+// header structs (Ethernet, IPv4, ...). DecodeFromBytes parses the
+// layer's own header from data and remembers the remaining payload;
+// NextLayerType tells the generic decoder how to continue.
+type Layer interface {
+	// LayerType identifies the protocol of this layer.
+	LayerType() LayerType
+	// DecodeFromBytes parses the layer from the start of data.
+	DecodeFromBytes(data []byte) error
+	// LayerPayload returns the bytes following this layer's header.
+	LayerPayload() []byte
+	// NextLayerType returns the type of the layer carried in the
+	// payload, or LayerTypePayload if opaque/unknown.
+	NextLayerType() LayerType
+}
+
+// SerializableLayer is a Layer that can write itself to a SerializeBuffer.
+// SerializeTo PREPENDS the header (and, for layers with trailers or
+// length/checksum fields, fixes those up against the bytes already in
+// the buffer, which are treated as this layer's payload).
+type SerializableLayer interface {
+	Layer
+	SerializeTo(b *SerializeBuffer) error
+}
+
+// decodeError annotates a parse failure with the layer that failed.
+type decodeError struct {
+	layer LayerType
+	msg   string
+}
+
+func (e *decodeError) Error() string {
+	return fmt.Sprintf("pkt: decoding %s: %s", e.layer, e.msg)
+}
+
+func errTruncated(t LayerType) error {
+	return &decodeError{layer: t, msg: "truncated"}
+}

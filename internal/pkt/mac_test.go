@@ -1,0 +1,147 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMAC(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    MAC
+		wantErr bool
+	}{
+		{"00:11:22:33:44:55", MAC{0x00, 0x11, 0x22, 0x33, 0x44, 0x55}, false},
+		{"aa:bb:cc:dd:ee:ff", MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}, false},
+		{"AA:BB:CC:DD:EE:FF", MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}, false},
+		{"aa-bb-cc-dd-ee-ff", MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}, false},
+		{"ff:ff:ff:ff:ff:ff", BroadcastMAC, false},
+		{"", MAC{}, true},
+		{"aa:bb:cc:dd:ee", MAC{}, true},
+		{"aa:bb:cc:dd:ee:fg", MAC{}, true},
+		{"aabbccddeeff0011x", MAC{}, true},
+		{"aa.bb.cc.dd.ee.ff", MAC{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMAC(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseMAC(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseMAC(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMACStringRoundTrip(t *testing.T) {
+	f := func(m MAC) bool {
+		parsed, err := ParseMAC(m.String())
+		return err == nil && parsed == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACPredicates(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() || !BroadcastMAC.IsMulticast() {
+		t.Error("broadcast must be broadcast and multicast")
+	}
+	if BroadcastMAC.IsUnicast() {
+		t.Error("broadcast is not unicast")
+	}
+	m := MustMAC("01:00:5e:00:00:01") // IP multicast MAC
+	if !m.IsMulticast() || m.IsBroadcast() || m.IsUnicast() {
+		t.Errorf("multicast predicates wrong for %v", m)
+	}
+	u := MustMAC("02:00:00:00:00:01")
+	if !u.IsUnicast() || u.IsMulticast() {
+		t.Errorf("unicast predicates wrong for %v", u)
+	}
+	if !ZeroMAC.IsZero() || ZeroMAC.IsUnicast() {
+		t.Error("zero MAC predicates wrong")
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    IPv4
+		wantErr bool
+	}{
+		{"0.0.0.0", IPv4{0, 0, 0, 0}, false},
+		{"10.0.0.1", IPv4{10, 0, 0, 1}, false},
+		{"255.255.255.255", IPv4{255, 255, 255, 255}, false},
+		{"192.168.1.100", IPv4{192, 168, 1, 100}, false},
+		{"256.0.0.1", IPv4{}, true},
+		{"1.2.3", IPv4{}, true},
+		{"1.2.3.4.5", IPv4{}, true},
+		{"a.b.c.d", IPv4{}, true},
+		{"1..2.3", IPv4{}, true},
+		{"", IPv4{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseIPv4(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseIPv4(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseIPv4(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIPv4StringRoundTrip(t *testing.T) {
+	f := func(ip IPv4) bool {
+		parsed, err := ParseIPv4(ip.String())
+		return err == nil && parsed == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4Uint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return IPv4FromUint32(v).Uint32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4Mask(t *testing.T) {
+	ip := MustIPv4("192.168.37.201")
+	cases := []struct {
+		plen int
+		want string
+	}{
+		{0, "0.0.0.0"},
+		{8, "192.0.0.0"},
+		{16, "192.168.0.0"},
+		{24, "192.168.37.0"},
+		{30, "192.168.37.200"},
+		{32, "192.168.37.201"},
+		{-3, "0.0.0.0"},
+		{40, "192.168.37.201"},
+	}
+	for _, c := range cases {
+		if got := ip.Mask(c.plen); got.String() != c.want {
+			t.Errorf("Mask(%d) = %s, want %s", c.plen, got, c.want)
+		}
+	}
+}
+
+func TestIPv4Predicates(t *testing.T) {
+	if !MustIPv4("255.255.255.255").IsBroadcast() {
+		t.Error("broadcast predicate")
+	}
+	if !MustIPv4("224.0.0.1").IsMulticast() || MustIPv4("223.255.255.255").IsMulticast() {
+		t.Error("multicast predicate")
+	}
+	if !(IPv4{}).IsZero() {
+		t.Error("zero predicate")
+	}
+}

@@ -1,0 +1,84 @@
+package pkt
+
+// Parser is a reusable, zero-allocation decoder in the style of
+// gopacket's DecodingLayerParser: the caller owns one Parser (it is NOT
+// safe for concurrent use) and repeatedly calls DecodeLayers; the
+// parser decodes into its own preallocated layer structs and reports
+// which layers were found. Hosts and the capture tooling use it to
+// avoid per-frame allocations on busy paths.
+type Parser struct {
+	Eth    Ethernet
+	Dot1Q  [2]Dot1Q // outer, inner (QinQ)
+	ARP    ARP
+	IPv4   IPv4Header
+	IPv6   IPv6Header
+	TCP    TCP
+	UDP    UDP
+	ICMPv4 ICMPv4
+	DNS    DNS
+
+	// Truncated is set when an inner layer was cut short; the layers
+	// decoded before it are still valid.
+	Truncated bool
+}
+
+// NewParser returns a ready-to-use Parser.
+func NewParser() *Parser { return &Parser{} }
+
+// DecodeLayers decodes frame starting at Ethernet, appending each
+// decoded LayerType to decoded (which is reset first). Unknown or
+// truncated inner layers stop the walk without an error; only a frame
+// too short for Ethernet returns one.
+func (p *Parser) DecodeLayers(frame []byte, decoded *[]LayerType) error {
+	*decoded = (*decoded)[:0]
+	p.Truncated = false
+	if err := p.Eth.DecodeFromBytes(frame); err != nil {
+		return err
+	}
+	*decoded = append(*decoded, LayerTypeEthernet)
+	next := p.Eth.NextLayerType()
+	rest := p.Eth.LayerPayload()
+	vlanIdx := 0
+	for next != LayerTypeNone && next != LayerTypePayload {
+		var l Layer
+		switch next {
+		case LayerTypeDot1Q:
+			if vlanIdx >= len(p.Dot1Q) {
+				return nil // deeper QinQ nesting than supported: treat as payload
+			}
+			l = &p.Dot1Q[vlanIdx]
+			vlanIdx++
+		case LayerTypeARP:
+			l = &p.ARP
+		case LayerTypeIPv4:
+			l = &p.IPv4
+		case LayerTypeIPv6:
+			l = &p.IPv6
+		case LayerTypeTCP:
+			l = &p.TCP
+		case LayerTypeUDP:
+			l = &p.UDP
+		case LayerTypeICMPv4:
+			l = &p.ICMPv4
+		case LayerTypeDNS:
+			l = &p.DNS
+		default:
+			return nil
+		}
+		if err := l.DecodeFromBytes(rest); err != nil {
+			p.Truncated = true
+			return nil
+		}
+		*decoded = append(*decoded, next)
+		rest = l.LayerPayload()
+		next = l.NextLayerType()
+		if len(rest) == 0 && next != LayerTypeNone {
+			return nil
+		}
+	}
+	return nil
+}
+
+// OuterVLAN returns the outermost decoded VLAN tag. Only valid if
+// decoded contains LayerTypeDot1Q.
+func (p *Parser) OuterVLAN() *Dot1Q { return &p.Dot1Q[0] }

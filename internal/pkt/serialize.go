@@ -1,0 +1,95 @@
+package pkt
+
+// SerializeBuffer builds packets back-to-front: each layer's
+// SerializeTo PREPENDS its header, treating the bytes already present
+// as its payload. This mirrors gopacket's SerializeBuffer and lets
+// length and checksum fields be computed naturally.
+type SerializeBuffer struct {
+	buf     []byte // full backing array
+	start   int    // index of first valid byte
+	csumCtx checksumContext
+}
+
+type checksumContext struct {
+	valid bool
+	src   IPv4
+	dst   IPv4
+}
+
+// NewSerializeBuffer returns a buffer with a default amount of
+// headroom suitable for a full Ethernet/IP/TCP stack.
+func NewSerializeBuffer() *SerializeBuffer {
+	return NewSerializeBufferSize(256)
+}
+
+// NewSerializeBufferSize returns a buffer with the given initial
+// capacity (headroom grows automatically if exceeded).
+func NewSerializeBufferSize(capacity int) *SerializeBuffer {
+	return &SerializeBuffer{buf: make([]byte, capacity), start: capacity}
+}
+
+// Bytes returns the serialized packet so far.
+func (b *SerializeBuffer) Bytes() []byte { return b.buf[b.start:] }
+
+// Len returns the number of valid bytes.
+func (b *SerializeBuffer) Len() int { return len(b.buf) - b.start }
+
+// Clear resets the buffer for reuse, keeping the backing array.
+func (b *SerializeBuffer) Clear() {
+	b.start = len(b.buf)
+	b.csumCtx = checksumContext{}
+}
+
+// PrependBytes makes room for n bytes at the front and returns the
+// slice to fill in. The returned slice is only valid until the next
+// Prepend call.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if n <= b.start {
+		b.start -= n
+		return b.buf[b.start : b.start+n]
+	}
+	// Grow: allocate a larger array with fresh headroom.
+	needed := b.Len() + n
+	newCap := len(b.buf)*2 + n
+	if newCap < needed+64 {
+		newCap = needed + 64
+	}
+	nb := make([]byte, newCap)
+	newStart := newCap - b.Len() - n
+	copy(nb[newStart+n:], b.Bytes())
+	b.buf = nb
+	b.start = newStart
+	return b.buf[b.start : b.start+n]
+}
+
+// SetNetworkForChecksum records the IPv4 endpoints so that a TCP or UDP
+// layer serialized next can compute its pseudo-header checksum. Call it
+// before serializing the transport layer (i.e. after the payload).
+func (b *SerializeBuffer) SetNetworkForChecksum(src, dst IPv4) {
+	b.csumCtx = checksumContext{valid: true, src: src, dst: dst}
+}
+
+// SerializeLayers clears the buffer and serializes the given layers in
+// wire order (outermost first), returning the final packet bytes. If an
+// IPv4 layer precedes a TCP/UDP layer the transport checksum is
+// computed automatically.
+func SerializeLayers(b *SerializeBuffer, layers ...SerializableLayer) ([]byte, error) {
+	b.Clear()
+	// Find IPv4 context for L4 checksums before any serialization.
+	for _, l := range layers {
+		if ip, ok := l.(*IPv4Header); ok {
+			b.SetNetworkForChecksum(ip.Src, ip.Dst)
+		}
+	}
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b); err != nil {
+			return nil, err
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// Serialize is a convenience wrapper that allocates a fresh buffer.
+func Serialize(layers ...SerializableLayer) ([]byte, error) {
+	return SerializeLayers(NewSerializeBuffer(), layers...)
+}

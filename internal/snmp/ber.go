@@ -1,0 +1,233 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BER tag bytes used by SNMPv2c.
+const (
+	tagInteger        = 0x02
+	tagOctetString    = 0x04
+	tagNull           = 0x05
+	tagOID            = 0x06
+	tagSequence       = 0x30
+	tagIPAddress      = 0x40
+	tagCounter32      = 0x41
+	tagGauge32        = 0x42
+	tagTimeTicks      = 0x43
+	tagCounter64      = 0x46
+	tagNoSuchObject   = 0x80
+	tagNoSuchInstance = 0x81
+	tagEndOfMibView   = 0x82
+	tagGetRequest     = 0xa0
+	tagGetNext        = 0xa1
+	tagResponse       = 0xa2
+	tagSetRequest     = 0xa3
+)
+
+var errBERTruncated = errors.New("snmp: truncated BER data")
+
+// berWriter builds BER structures back-to-front, mirroring the packet
+// serializer: values are appended to scratch buffers and wrapped with
+// tag+length by the enclosing caller.
+func berEncodeLength(n int) []byte {
+	if n < 0x80 {
+		return []byte{byte(n)}
+	}
+	// Long form.
+	var tmp [8]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte(n)
+		n >>= 8
+	}
+	out := make([]byte, 0, 1+len(tmp)-i)
+	out = append(out, byte(0x80|(len(tmp)-i)))
+	return append(out, tmp[i:]...)
+}
+
+// berWrap prefixes content with tag and length.
+func berWrap(tag byte, content []byte) []byte {
+	l := berEncodeLength(len(content))
+	out := make([]byte, 0, 1+len(l)+len(content))
+	out = append(out, tag)
+	out = append(out, l...)
+	return append(out, content...)
+}
+
+// berEncodeInt encodes a signed integer in the minimal two's-complement
+// form BER requires.
+func berEncodeInt(v int64) []byte {
+	// Collect big-endian bytes.
+	var tmp [9]byte
+	n := 8
+	u := uint64(v)
+	for i := 7; i >= 0; i-- {
+		tmp[i+1] = byte(u)
+		u >>= 8
+	}
+	// Trim redundant leading bytes while preserving the sign bit.
+	start := 1
+	for start < n && ((tmp[start] == 0x00 && tmp[start+1]&0x80 == 0) ||
+		(tmp[start] == 0xff && tmp[start+1]&0x80 != 0)) {
+		start++
+	}
+	return append([]byte{}, tmp[start:9]...)
+}
+
+// berEncodeUint encodes an unsigned value (Counter/Gauge/TimeTicks),
+// which BER still represents as a (non-negative) INTEGER body.
+func berEncodeUint(v uint64) []byte {
+	var tmp [9]byte // leading 0x00 if the top bit is set
+	i := 9
+	for {
+		i--
+		tmp[i] = byte(v)
+		v >>= 8
+		if v == 0 {
+			break
+		}
+	}
+	if tmp[i]&0x80 != 0 {
+		i--
+		tmp[i] = 0
+	}
+	return append([]byte{}, tmp[i:]...)
+}
+
+// berEncodeOID encodes an OID body (without tag/length).
+func berEncodeOID(o OID) ([]byte, error) {
+	if len(o) < 2 {
+		return nil, fmt.Errorf("snmp: OID %v too short to encode", o)
+	}
+	out := []byte{byte(o[0]*40 + o[1])}
+	for _, c := range o[2:] {
+		out = append(out, encodeBase128(uint64(c))...)
+	}
+	return out, nil
+}
+
+func encodeBase128(v uint64) []byte {
+	if v == 0 {
+		return []byte{0}
+	}
+	var tmp [10]byte
+	i := len(tmp)
+	first := true
+	for v > 0 {
+		i--
+		b := byte(v & 0x7f)
+		if !first {
+			b |= 0x80
+		}
+		tmp[i] = b
+		first = false
+		v >>= 7
+	}
+	return append([]byte{}, tmp[i:]...)
+}
+
+// berReader is a cursor over BER bytes.
+type berReader struct {
+	data []byte
+	pos  int
+}
+
+// readTL reads a tag and length, returning the tag and the content
+// slice (advancing past it).
+func (r *berReader) readTL() (tag byte, content []byte, err error) {
+	if r.pos+2 > len(r.data) {
+		return 0, nil, errBERTruncated
+	}
+	tag = r.data[r.pos]
+	r.pos++
+	l := int(r.data[r.pos])
+	r.pos++
+	if l&0x80 != 0 {
+		nbytes := l & 0x7f
+		if nbytes == 0 || nbytes > 4 || r.pos+nbytes > len(r.data) {
+			return 0, nil, fmt.Errorf("snmp: unsupported BER length form")
+		}
+		l = 0
+		for i := 0; i < nbytes; i++ {
+			l = l<<8 | int(r.data[r.pos])
+			r.pos++
+		}
+	}
+	if r.pos+l > len(r.data) {
+		return 0, nil, errBERTruncated
+	}
+	content = r.data[r.pos : r.pos+l]
+	r.pos += l
+	return tag, content, nil
+}
+
+// expect reads a TL and verifies the tag.
+func (r *berReader) expect(tag byte) ([]byte, error) {
+	got, content, err := r.readTL()
+	if err != nil {
+		return nil, err
+	}
+	if got != tag {
+		return nil, fmt.Errorf("snmp: expected tag %#x, got %#x", tag, got)
+	}
+	return content, nil
+}
+
+func (r *berReader) done() bool { return r.pos >= len(r.data) }
+
+func berDecodeInt(content []byte) (int64, error) {
+	if len(content) == 0 || len(content) > 8 {
+		return 0, fmt.Errorf("snmp: bad INTEGER length %d", len(content))
+	}
+	v := int64(0)
+	if content[0]&0x80 != 0 {
+		v = -1 // sign-extend
+	}
+	for _, b := range content {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
+}
+
+func berDecodeUint(content []byte) (uint64, error) {
+	if len(content) == 0 || len(content) > 9 {
+		return 0, fmt.Errorf("snmp: bad unsigned length %d", len(content))
+	}
+	if len(content) == 9 && content[0] != 0 {
+		return 0, fmt.Errorf("snmp: unsigned overflow")
+	}
+	var v uint64
+	for _, b := range content {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+func berDecodeOID(content []byte) (OID, error) {
+	if len(content) == 0 {
+		return nil, fmt.Errorf("snmp: empty OID")
+	}
+	o := OID{uint32(content[0] / 40), uint32(content[0] % 40)}
+	var acc uint64
+	inRun := false
+	for _, b := range content[1:] {
+		acc = acc<<7 | uint64(b&0x7f)
+		if acc > 0xffffffff {
+			return nil, fmt.Errorf("snmp: OID component overflow")
+		}
+		if b&0x80 == 0 {
+			o = append(o, uint32(acc))
+			acc = 0
+			inRun = false
+		} else {
+			inRun = true
+		}
+	}
+	if inRun {
+		return nil, errBERTruncated
+	}
+	return o, nil
+}

@@ -1,0 +1,182 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Client issues SNMPv2c requests over a datagram connection (normally
+// UDP). It retries on timeout and matches responses by request-id.
+// Safe for concurrent use.
+type Client struct {
+	conn      net.Conn
+	community string
+	timeout   time.Duration
+	retries   int
+	reqID     atomic.Int32
+}
+
+// ErrTimeout is returned when all retries are exhausted.
+var ErrTimeout = errors.New("snmp: request timed out")
+
+// RequestError reports a non-zero error-status in a response.
+type RequestError struct {
+	Status int
+	Index  int
+}
+
+// Error implements error.
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("snmp: error status %d at index %d", e.Status, e.Index)
+}
+
+// Dial connects a client to the agent at addr ("host:port", UDP).
+func Dial(addr, community string) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: dial %s: %w", addr, err)
+	}
+	return NewClient(conn, community), nil
+}
+
+// NewClient wraps an existing connection (tests use in-memory pipes).
+func NewClient(conn net.Conn, community string) *Client {
+	c := &Client{conn: conn, community: community, timeout: 2 * time.Second, retries: 2}
+	c.reqID.Store(int32(time.Now().UnixNano() & 0x3fffffff))
+	return c
+}
+
+// SetTimeout adjusts the per-attempt timeout.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetRetries adjusts the number of retransmissions after the first
+// attempt.
+func (c *Client) SetRetries(n int) { c.retries = n }
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends a request and waits for the matching response.
+func (c *Client) roundTrip(typ PDUType, vbs []VarBind) (*Message, error) {
+	id := c.reqID.Add(1)
+	req := &Message{Community: c.community, Type: typ, RequestID: id, VarBinds: vbs}
+	wire, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65535)
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if _, err := c.conn.Write(wire); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(c.timeout)
+		for {
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return nil, err
+			}
+			n, err := c.conn.Read(buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break // retransmit
+				}
+				return nil, err
+			}
+			resp, err := Unmarshal(buf[:n])
+			if err != nil {
+				continue // garbage datagram; keep waiting
+			}
+			if resp.RequestID != id || resp.Type != PDUResponse {
+				continue // stale response from an earlier retry
+			}
+			if resp.ErrStatus != ErrNoError {
+				return resp, &RequestError{Status: resp.ErrStatus, Index: resp.ErrIndex}
+			}
+			return resp, nil
+		}
+	}
+	return nil, ErrTimeout
+}
+
+// Get fetches the values of the given instance OIDs.
+func (c *Client) Get(oids ...OID) ([]VarBind, error) {
+	vbs := make([]VarBind, len(oids))
+	for i, o := range oids {
+		vbs[i] = VarBind{OID: o, Value: Null{}}
+	}
+	resp, err := c.roundTrip(PDUGetRequest, vbs)
+	if err != nil {
+		return nil, err
+	}
+	return resp.VarBinds, nil
+}
+
+// GetOne fetches a single scalar and fails on v2c exceptions.
+func (c *Client) GetOne(oid OID) (Value, error) {
+	vbs, err := c.Get(oid)
+	if err != nil {
+		return nil, err
+	}
+	if len(vbs) != 1 {
+		return nil, fmt.Errorf("snmp: expected 1 varbind, got %d", len(vbs))
+	}
+	switch vbs[0].Value.(type) {
+	case NoSuchObject, NoSuchInstance:
+		return nil, fmt.Errorf("snmp: %s: no such object", oid)
+	}
+	return vbs[0].Value, nil
+}
+
+// GetNext fetches the lexicographic successors of the given OIDs.
+func (c *Client) GetNext(oids ...OID) ([]VarBind, error) {
+	vbs := make([]VarBind, len(oids))
+	for i, o := range oids {
+		vbs[i] = VarBind{OID: o, Value: Null{}}
+	}
+	resp, err := c.roundTrip(PDUGetNext, vbs)
+	if err != nil {
+		return nil, err
+	}
+	return resp.VarBinds, nil
+}
+
+// Set writes the given varbinds.
+func (c *Client) Set(vbs ...VarBind) ([]VarBind, error) {
+	resp, err := c.roundTrip(PDUSetRequest, vbs)
+	if err != nil {
+		return nil, err
+	}
+	return resp.VarBinds, nil
+}
+
+// Walk performs a GETNEXT walk over the subtree rooted at root,
+// invoking fn for every instance. fn may return a non-nil error to
+// stop the walk early.
+func (c *Client) Walk(root OID, fn func(VarBind) error) error {
+	cur := root.Clone()
+	for {
+		vbs, err := c.GetNext(cur)
+		if err != nil {
+			return err
+		}
+		if len(vbs) != 1 {
+			return fmt.Errorf("snmp: walk: %d varbinds", len(vbs))
+		}
+		vb := vbs[0]
+		if _, end := vb.Value.(EndOfMibView); end {
+			return nil
+		}
+		if !vb.OID.HasPrefix(root) {
+			return nil // left the subtree
+		}
+		if vb.OID.Cmp(cur) <= 0 {
+			return fmt.Errorf("snmp: walk: agent did not advance (at %s)", vb.OID)
+		}
+		if err := fn(vb); err != nil {
+			return err
+		}
+		cur = vb.OID
+	}
+}

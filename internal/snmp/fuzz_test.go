@@ -1,0 +1,20 @@
+package snmp
+
+import "testing"
+
+// FuzzUnmarshal hardens the BER decoder against arbitrary datagrams.
+func FuzzUnmarshal(f *testing.F) {
+	seed, _ := (&Message{Community: "public", Type: PDUGetRequest, RequestID: 1,
+		VarBinds: []VarBind{{OID: MustOID("1.3.6.1.2.1.1.1.0"), Value: Null{}}}}).Marshal()
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil || m == nil {
+			return
+		}
+		// Round-trip whatever decoded.
+		if _, err := m.Marshal(); err != nil {
+			t.Fatalf("decoded message failed to marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package snmp
+
+import (
+	"fmt"
+)
+
+// PDUType identifies the SNMP operation.
+type PDUType byte
+
+// PDU types (the SNMPv2c subset we implement).
+const (
+	PDUGetRequest PDUType = tagGetRequest
+	PDUGetNext    PDUType = tagGetNext
+	PDUResponse   PDUType = tagResponse
+	PDUSetRequest PDUType = tagSetRequest
+)
+
+// String implements fmt.Stringer.
+func (t PDUType) String() string {
+	switch t {
+	case PDUGetRequest:
+		return "GET"
+	case PDUGetNext:
+		return "GETNEXT"
+	case PDUResponse:
+		return "RESPONSE"
+	case PDUSetRequest:
+		return "SET"
+	}
+	return fmt.Sprintf("PDUType(%#x)", byte(t))
+}
+
+// Error status codes (RFC 3416).
+const (
+	ErrNoError     = 0
+	ErrTooBig      = 1
+	ErrNoSuchName  = 2
+	ErrBadValue    = 3
+	ErrReadOnly    = 4
+	ErrGenErr      = 5
+	ErrNoAccess    = 6
+	ErrWrongType   = 7
+	ErrNotWritable = 17
+)
+
+// Version2c is the version field value for SNMPv2c.
+const Version2c = 1
+
+// VarBind is one (OID, value) pair.
+type VarBind struct {
+	OID   OID
+	Value Value
+}
+
+// Message is a full SNMPv2c message.
+type Message struct {
+	Community string
+	Type      PDUType
+	RequestID int32
+	ErrStatus int
+	ErrIndex  int
+	VarBinds  []VarBind
+}
+
+// Marshal encodes the message to wire format.
+func (m *Message) Marshal() ([]byte, error) {
+	var vbs []byte
+	for _, vb := range m.VarBinds {
+		oidBody, err := berEncodeOID(vb.OID)
+		if err != nil {
+			return nil, err
+		}
+		val := vb.Value
+		if val == nil {
+			val = Null{}
+		}
+		vbody, err := val.encode()
+		if err != nil {
+			return nil, err
+		}
+		entry := append(berWrap(tagOID, oidBody), vbody...)
+		vbs = append(vbs, berWrap(tagSequence, entry)...)
+	}
+	pdu := berWrap(tagInteger, berEncodeInt(int64(m.RequestID)))
+	pdu = append(pdu, berWrap(tagInteger, berEncodeInt(int64(m.ErrStatus)))...)
+	pdu = append(pdu, berWrap(tagInteger, berEncodeInt(int64(m.ErrIndex)))...)
+	pdu = append(pdu, berWrap(tagSequence, vbs)...)
+
+	msg := berWrap(tagInteger, berEncodeInt(Version2c))
+	msg = append(msg, berWrap(tagOctetString, []byte(m.Community))...)
+	msg = append(msg, berWrap(byte(m.Type), pdu)...)
+	return berWrap(tagSequence, msg), nil
+}
+
+// Unmarshal decodes a wire-format message.
+func Unmarshal(data []byte) (*Message, error) {
+	r := &berReader{data: data}
+	body, err := r.expect(tagSequence)
+	if err != nil {
+		return nil, err
+	}
+	mr := &berReader{data: body}
+	verBody, err := mr.expect(tagInteger)
+	if err != nil {
+		return nil, err
+	}
+	ver, err := berDecodeInt(verBody)
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version2c {
+		return nil, fmt.Errorf("snmp: unsupported version %d", ver)
+	}
+	community, err := mr.expect(tagOctetString)
+	if err != nil {
+		return nil, err
+	}
+	pduTag, pduBody, err := mr.readTL()
+	if err != nil {
+		return nil, err
+	}
+	switch PDUType(pduTag) {
+	case PDUGetRequest, PDUGetNext, PDUResponse, PDUSetRequest:
+	default:
+		return nil, fmt.Errorf("snmp: unsupported PDU type %#x", pduTag)
+	}
+	m := &Message{Community: string(community), Type: PDUType(pduTag)}
+
+	pr := &berReader{data: pduBody}
+	reqBody, err := pr.expect(tagInteger)
+	if err != nil {
+		return nil, err
+	}
+	reqID, err := berDecodeInt(reqBody)
+	if err != nil {
+		return nil, err
+	}
+	m.RequestID = int32(reqID)
+	esBody, err := pr.expect(tagInteger)
+	if err != nil {
+		return nil, err
+	}
+	es, err := berDecodeInt(esBody)
+	if err != nil {
+		return nil, err
+	}
+	m.ErrStatus = int(es)
+	eiBody, err := pr.expect(tagInteger)
+	if err != nil {
+		return nil, err
+	}
+	ei, err := berDecodeInt(eiBody)
+	if err != nil {
+		return nil, err
+	}
+	m.ErrIndex = int(ei)
+
+	vbsBody, err := pr.expect(tagSequence)
+	if err != nil {
+		return nil, err
+	}
+	vr := &berReader{data: vbsBody}
+	for !vr.done() {
+		entryBody, err := vr.expect(tagSequence)
+		if err != nil {
+			return nil, err
+		}
+		er := &berReader{data: entryBody}
+		oidBody, err := er.expect(tagOID)
+		if err != nil {
+			return nil, err
+		}
+		oid, err := berDecodeOID(oidBody)
+		if err != nil {
+			return nil, err
+		}
+		vtag, vcontent, err := er.readTL()
+		if err != nil {
+			return nil, err
+		}
+		val, err := decodeValue(vtag, vcontent)
+		if err != nil {
+			return nil, err
+		}
+		m.VarBinds = append(m.VarBinds, VarBind{OID: oid, Value: val})
+	}
+	return m, nil
+}

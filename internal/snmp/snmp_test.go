@@ -1,0 +1,415 @@
+package snmp
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseOID(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"1.3.6.1.2.1.1.5.0", ".1.3.6.1.2.1.1.5.0", false},
+		{".1.3.6.1", ".1.3.6.1", false},
+		{"", "", true},
+		{"1", "", true},
+		{"3.1", "", true}, // root must be 0..2
+		{"1.40", "", true},
+		{"1.3.x", "", true},
+	}
+	for _, c := range cases {
+		o, err := ParseOID(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseOID(%q) err=%v", c.in, err)
+			continue
+		}
+		if err == nil && o.String() != c.want {
+			t.Errorf("ParseOID(%q) = %s, want %s", c.in, o, c.want)
+		}
+	}
+}
+
+func TestOIDCmpAndPrefix(t *testing.T) {
+	a := MustOID("1.3.6.1.2.1")
+	b := MustOID("1.3.6.1.2.1.1")
+	c := MustOID("1.3.6.1.4")
+	if a.Cmp(b) >= 0 || b.Cmp(a) <= 0 {
+		t.Error("prefix ordering")
+	}
+	if a.Cmp(a.Clone()) != 0 {
+		t.Error("self compare")
+	}
+	if b.Cmp(c) >= 0 {
+		t.Error("sibling ordering")
+	}
+	if !b.HasPrefix(a) || a.HasPrefix(b) {
+		t.Error("HasPrefix")
+	}
+	if !a.Append(7).HasPrefix(a) {
+		t.Error("Append/HasPrefix")
+	}
+}
+
+func TestBERIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		enc := berEncodeInt(v)
+		dec, err := berDecodeInt(enc)
+		return err == nil && dec == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Specific boundary values.
+	for _, v := range []int64{0, 1, -1, 127, 128, -128, -129, 255, 256, 1<<31 - 1, -(1 << 31), 1<<62 - 1} {
+		enc := berEncodeInt(v)
+		dec, err := berDecodeInt(enc)
+		if err != nil || dec != v {
+			t.Errorf("int %d: enc=%x dec=%d err=%v", v, enc, dec, err)
+		}
+	}
+}
+
+func TestBERUintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := berEncodeUint(v)
+		dec, err := berDecodeUint(enc)
+		return err == nil && dec == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBEROIDRoundTrip(t *testing.T) {
+	oids := []string{
+		"1.3.6.1.2.1.1.1.0",
+		"1.3.6.1.4.1.99999.1.2.3",
+		"0.0",
+		"2.25.4294967295", // max component
+		"1.3.6.1.2.1.2.2.1.10.10001",
+	}
+	for _, s := range oids {
+		o := MustOID(s)
+		enc, err := berEncodeOID(o)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		dec, err := berDecodeOID(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if dec.Cmp(o) != 0 {
+			t.Errorf("%s round-tripped to %s", o, dec)
+		}
+	}
+}
+
+func TestBERLongLength(t *testing.T) {
+	// An octet string > 127 bytes forces the long length form.
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	m := &Message{
+		Community: "public", Type: PDUResponse, RequestID: 1,
+		VarBinds: []VarBind{{OID: MustOID("1.3.6.1.2.1.1.1.0"), Value: OctetString(payload)}},
+	}
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, ok := got.VarBinds[0].Value.(OctetString)
+	if !ok || len(os) != 300 || os[299] != byte(299%256) {
+		t.Errorf("long value corrupted: %T len=%d", got.VarBinds[0].Value, len(os))
+	}
+}
+
+func TestMessageRoundTripAllTypes(t *testing.T) {
+	m := &Message{
+		Community: "private", Type: PDUSetRequest, RequestID: 0x7fffffff,
+		VarBinds: []VarBind{
+			{OID: MustOID("1.3.6.1.2.1.1.1.0"), Value: OctetString("hello")},
+			{OID: MustOID("1.3.6.1.2.1.1.3.0"), Value: TimeTicks(12345)},
+			{OID: MustOID("1.3.6.1.2.1.1.7.0"), Value: Integer(-42)},
+			{OID: MustOID("1.3.6.1.2.1.2.2.1.10.1"), Value: Counter32(4000000000)},
+			{OID: MustOID("1.3.6.1.2.1.2.2.1.5.1"), Value: Gauge32(1000000000)},
+			{OID: MustOID("1.3.6.1.2.1.31.1.1.1.6.1"), Value: Counter64(1 << 40)},
+			{OID: MustOID("1.3.6.1.2.1.4.20.1.1.10"), Value: IPAddress{10, 0, 0, 1}},
+			{OID: MustOID("1.3.6.1.2.1.1.2.0"), Value: ObjectIdentifier(MustOID("1.3.6.1.4.1.8072"))},
+			{OID: MustOID("1.3.6.1.9.9.9.0"), Value: Null{}},
+		},
+	}
+	wire, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Community != "private" || got.Type != PDUSetRequest || got.RequestID != 0x7fffffff {
+		t.Errorf("header: %+v", got)
+	}
+	if len(got.VarBinds) != len(m.VarBinds) {
+		t.Fatalf("varbinds: %d", len(got.VarBinds))
+	}
+	for i, vb := range got.VarBinds {
+		if vb.OID.Cmp(m.VarBinds[i].OID) != 0 {
+			t.Errorf("vb %d OID %s != %s", i, vb.OID, m.VarBinds[i].OID)
+		}
+	}
+	if v, ok := got.VarBinds[3].Value.(Counter32); !ok || v != 4000000000 {
+		t.Errorf("counter32: %v", got.VarBinds[3].Value)
+	}
+	if v, ok := got.VarBinds[5].Value.(Counter64); !ok || v != 1<<40 {
+		t.Errorf("counter64: %v", got.VarBinds[5].Value)
+	}
+	if v, ok := got.VarBinds[6].Value.(IPAddress); !ok || v != (IPAddress{10, 0, 0, 1}) {
+		t.Errorf("ipaddr: %v", got.VarBinds[6].Value)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unmarshal(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMIBOrdering(t *testing.T) {
+	m := NewMIB()
+	m.RegisterReadOnly(MustOID("1.3.6.1.2.1.1.5.0"), func() Value { return OctetString("c") })
+	m.RegisterReadOnly(MustOID("1.3.6.1.2.1.1.1.0"), func() Value { return OctetString("a") })
+	m.RegisterReadOnly(MustOID("1.3.6.1.2.1.1.3.0"), func() Value { return OctetString("b") })
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	n := m.next(MustOID("1.3.6.1.2.1.1"))
+	if n == nil || n.oid.String() != ".1.3.6.1.2.1.1.1.0" {
+		t.Errorf("next from subtree root: %v", n)
+	}
+	n = m.next(MustOID("1.3.6.1.2.1.1.1.0"))
+	if n == nil || n.oid.String() != ".1.3.6.1.2.1.1.3.0" {
+		t.Errorf("next: %v", n)
+	}
+	if m.next(MustOID("1.3.6.1.2.1.1.5.0")) != nil {
+		t.Error("next past end should be nil")
+	}
+	// Replacement.
+	m.RegisterReadOnly(MustOID("1.3.6.1.2.1.1.1.0"), func() Value { return OctetString("a2") })
+	if m.Len() != 3 {
+		t.Errorf("replacement grew MIB to %d", m.Len())
+	}
+}
+
+// newTestAgent starts an agent on a loopback UDP socket and returns a
+// connected client.
+func newTestAgent(t *testing.T, mib *MIB, community string) *Client {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent(mib, community)
+	go agent.Serve(pc) //nolint:errcheck // ends when pc closes
+	t.Cleanup(func() { pc.Close() })
+	client, err := Dial(pc.LocalAddr().String(), community)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	client.SetTimeout(2 * time.Second)
+	return client
+}
+
+func testMIB() (*MIB, *atomic.Int64) {
+	m := NewMIB()
+	m.RegisterReadOnly(MustOID("1.3.6.1.2.1.1.1.0"), func() Value { return OctetString("HARMLESS test agent") })
+	m.RegisterReadOnly(MustOID("1.3.6.1.2.1.1.3.0"), func() Value { return TimeTicks(100) })
+	var mu sync.Mutex
+	name := "sw1"
+	m.Register(MustOID("1.3.6.1.2.1.1.5.0"),
+		func() Value { mu.Lock(); defer mu.Unlock(); return OctetString(name) },
+		func(v Value) error {
+			s, ok := v.(OctetString)
+			if !ok {
+				return &SetError{Status: ErrWrongType, Reason: "want string"}
+			}
+			mu.Lock()
+			name = string(s)
+			mu.Unlock()
+			return nil
+		})
+	writable := new(atomic.Int64)
+	writable.Store(7)
+	m.Register(MustOID("1.3.6.1.4.1.55555.1.0"),
+		func() Value { return Integer(writable.Load()) },
+		func(v Value) error {
+			iv, ok := v.(Integer)
+			if !ok {
+				return &SetError{Status: ErrWrongType, Reason: "want integer"}
+			}
+			if iv < 0 {
+				return &SetError{Status: ErrBadValue, Reason: "negative"}
+			}
+			writable.Store(int64(iv))
+			return nil
+		})
+	for i := uint32(1); i <= 3; i++ {
+		idx := i
+		m.RegisterReadOnly(MustOID("1.3.6.1.2.1.2.2.1.2").Append(idx),
+			func() Value { return OctetString([]byte{byte('a' + idx - 1)}) })
+	}
+	return m, writable
+}
+
+func TestAgentGet(t *testing.T) {
+	mib, _ := testMIB()
+	c := newTestAgent(t, mib, "public")
+	v, err := c.GetOne(MustOID("1.3.6.1.2.1.1.1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.(OctetString)) != "HARMLESS test agent" {
+		t.Errorf("sysDescr = %v", v)
+	}
+	// Missing object → v2c exception → GetOne error.
+	if _, err := c.GetOne(MustOID("1.3.6.1.9.9.9.0")); err == nil {
+		t.Error("expected error for missing object")
+	}
+	// Multi-OID get.
+	vbs, err := c.Get(MustOID("1.3.6.1.2.1.1.1.0"), MustOID("1.3.6.1.2.1.1.3.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vbs) != 2 {
+		t.Fatalf("varbinds: %d", len(vbs))
+	}
+	if _, ok := vbs[1].Value.(TimeTicks); !ok {
+		t.Errorf("sysUpTime type: %T", vbs[1].Value)
+	}
+}
+
+func TestAgentSet(t *testing.T) {
+	mib, writable := testMIB()
+	c := newTestAgent(t, mib, "private")
+	if _, err := c.Set(VarBind{OID: MustOID("1.3.6.1.4.1.55555.1.0"), Value: Integer(42)}); err != nil {
+		t.Fatal(err)
+	}
+	if writable.Load() != 42 {
+		t.Errorf("writable = %d", writable.Load())
+	}
+	// Wrong type.
+	_, err := c.Set(VarBind{OID: MustOID("1.3.6.1.4.1.55555.1.0"), Value: OctetString("no")})
+	re, ok := err.(*RequestError)
+	if !ok || re.Status != ErrWrongType {
+		t.Errorf("want wrongType, got %v", err)
+	}
+	// Bad value.
+	_, err = c.Set(VarBind{OID: MustOID("1.3.6.1.4.1.55555.1.0"), Value: Integer(-1)})
+	re, ok = err.(*RequestError)
+	if !ok || re.Status != ErrBadValue {
+		t.Errorf("want badValue, got %v", err)
+	}
+	// Read-only object.
+	_, err = c.Set(VarBind{OID: MustOID("1.3.6.1.2.1.1.1.0"), Value: OctetString("x")})
+	re, ok = err.(*RequestError)
+	if !ok || re.Status != ErrNotWritable {
+		t.Errorf("want notWritable, got %v", err)
+	}
+	// Unknown object.
+	_, err = c.Set(VarBind{OID: MustOID("1.3.6.1.9.9.9.0"), Value: Integer(1)})
+	re, ok = err.(*RequestError)
+	if !ok || re.Status != ErrNoSuchName {
+		t.Errorf("want noSuchName, got %v", err)
+	}
+}
+
+func TestAgentWalk(t *testing.T) {
+	mib, _ := testMIB()
+	c := newTestAgent(t, mib, "public")
+	var got []string
+	err := c.Walk(MustOID("1.3.6.1.2.1.2.2.1.2"), func(vb VarBind) error {
+		got = append(got, string(vb.Value.(OctetString)))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("walk got %v", got)
+	}
+	// Walk of whole system subtree terminates.
+	count := 0
+	if err := c.Walk(MustOID("1.3.6.1.2.1.1"), func(VarBind) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 { // sysDescr, sysUpTime, sysName
+		t.Errorf("system walk count = %d", count)
+	}
+}
+
+func TestAgentWrongCommunityIgnored(t *testing.T) {
+	mib, _ := testMIB()
+	c := newTestAgent(t, mib, "public")
+	// Re-dial with wrong community; request must time out.
+	bad := NewClient(mustDialSame(t, c), "wrong")
+	bad.SetTimeout(100 * time.Millisecond)
+	bad.SetRetries(0)
+	if _, err := bad.Get(MustOID("1.3.6.1.2.1.1.1.0")); err != ErrTimeout {
+		t.Errorf("want timeout, got %v", err)
+	}
+}
+
+// mustDialSame dials a new UDP connection to the same agent address the
+// given client is connected to.
+func mustDialSame(t *testing.T, c *Client) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("udp", c.conn.RemoteAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestGetNextEndOfMib(t *testing.T) {
+	mib, _ := testMIB()
+	c := newTestAgent(t, mib, "public")
+	vbs, err := c.GetNext(MustOID("1.3.6.1.4.1.55555.1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vbs[0].Value.(EndOfMibView); !ok {
+		t.Errorf("expected endOfMibView, got %v", vbs[0].Value)
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	vals := []Value{
+		Integer(5), OctetString("s"), Null{}, ObjectIdentifier(MustOID("1.3")),
+		IPAddress{1, 2, 3, 4}, Counter32(1), Gauge32(2), TimeTicks(3), Counter64(4),
+		NoSuchObject{}, NoSuchInstance{}, EndOfMibView{},
+	}
+	for _, v := range vals {
+		if v.String() == "" {
+			t.Errorf("%T has empty String()", v)
+		}
+	}
+	if PDUGetRequest.String() != "GET" || PDUType(0x77).String() == "" {
+		t.Error("PDU type strings")
+	}
+}

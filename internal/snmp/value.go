@@ -1,0 +1,144 @@
+package snmp
+
+import (
+	"fmt"
+
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// Value is an SNMP variable value. The concrete types below mirror the
+// SMIv2 base types the agent exposes.
+type Value interface {
+	// encode returns the BER TLV for the value.
+	encode() ([]byte, error)
+	// String renders the value for diagnostics.
+	String() string
+}
+
+// Integer is INTEGER/Integer32.
+type Integer int64
+
+func (v Integer) encode() ([]byte, error) { return berWrap(tagInteger, berEncodeInt(int64(v))), nil }
+func (v Integer) String() string          { return fmt.Sprintf("INTEGER: %d", int64(v)) }
+
+// OctetString is OCTET STRING.
+type OctetString []byte
+
+func (v OctetString) encode() ([]byte, error) { return berWrap(tagOctetString, v), nil }
+func (v OctetString) String() string          { return fmt.Sprintf("STRING: %q", []byte(v)) }
+
+// Null is the NULL placeholder used in request varbinds.
+type Null struct{}
+
+func (Null) encode() ([]byte, error) { return berWrap(tagNull, nil), nil }
+func (Null) String() string          { return "NULL" }
+
+// ObjectIdentifier is OBJECT IDENTIFIER.
+type ObjectIdentifier OID
+
+func (v ObjectIdentifier) encode() ([]byte, error) {
+	body, err := berEncodeOID(OID(v))
+	if err != nil {
+		return nil, err
+	}
+	return berWrap(tagOID, body), nil
+}
+func (v ObjectIdentifier) String() string { return "OID: " + OID(v).String() }
+
+// IPAddress is IpAddress (4 bytes).
+type IPAddress pkt.IPv4
+
+func (v IPAddress) encode() ([]byte, error) { return berWrap(tagIPAddress, v[:]), nil }
+func (v IPAddress) String() string          { return "IpAddress: " + pkt.IPv4(v).String() }
+
+// Counter32 is a 32-bit wrapping counter.
+type Counter32 uint32
+
+func (v Counter32) encode() ([]byte, error) {
+	return berWrap(tagCounter32, berEncodeUint(uint64(v))), nil
+}
+func (v Counter32) String() string { return fmt.Sprintf("Counter32: %d", uint32(v)) }
+
+// Gauge32 is a 32-bit gauge.
+type Gauge32 uint32
+
+func (v Gauge32) encode() ([]byte, error) {
+	return berWrap(tagGauge32, berEncodeUint(uint64(v))), nil
+}
+func (v Gauge32) String() string { return fmt.Sprintf("Gauge32: %d", uint32(v)) }
+
+// TimeTicks is hundredths of seconds since an epoch.
+type TimeTicks uint32
+
+func (v TimeTicks) encode() ([]byte, error) {
+	return berWrap(tagTimeTicks, berEncodeUint(uint64(v))), nil
+}
+func (v TimeTicks) String() string { return fmt.Sprintf("Timeticks: (%d)", uint32(v)) }
+
+// Counter64 is a 64-bit counter.
+type Counter64 uint64
+
+func (v Counter64) encode() ([]byte, error) {
+	return berWrap(tagCounter64, berEncodeUint(uint64(v))), nil
+}
+func (v Counter64) String() string { return fmt.Sprintf("Counter64: %d", uint64(v)) }
+
+// NoSuchObject is the v2c exception reported for missing objects.
+type NoSuchObject struct{}
+
+func (NoSuchObject) encode() ([]byte, error) { return berWrap(tagNoSuchObject, nil), nil }
+func (NoSuchObject) String() string          { return "No Such Object" }
+
+// NoSuchInstance is the v2c exception for a missing instance.
+type NoSuchInstance struct{}
+
+func (NoSuchInstance) encode() ([]byte, error) { return berWrap(tagNoSuchInstance, nil), nil }
+func (NoSuchInstance) String() string          { return "No Such Instance" }
+
+// EndOfMibView terminates GETNEXT walks.
+type EndOfMibView struct{}
+
+func (EndOfMibView) encode() ([]byte, error) { return berWrap(tagEndOfMibView, nil), nil }
+func (EndOfMibView) String() string          { return "End of MIB View" }
+
+// decodeValue parses one BER TLV into a Value.
+func decodeValue(tag byte, content []byte) (Value, error) {
+	switch tag {
+	case tagInteger:
+		v, err := berDecodeInt(content)
+		return Integer(v), err
+	case tagOctetString:
+		return OctetString(append([]byte{}, content...)), nil
+	case tagNull:
+		return Null{}, nil
+	case tagOID:
+		o, err := berDecodeOID(content)
+		return ObjectIdentifier(o), err
+	case tagIPAddress:
+		if len(content) != 4 {
+			return nil, fmt.Errorf("snmp: IpAddress length %d", len(content))
+		}
+		var ip IPAddress
+		copy(ip[:], content)
+		return ip, nil
+	case tagCounter32:
+		v, err := berDecodeUint(content)
+		return Counter32(v), err
+	case tagGauge32:
+		v, err := berDecodeUint(content)
+		return Gauge32(v), err
+	case tagTimeTicks:
+		v, err := berDecodeUint(content)
+		return TimeTicks(v), err
+	case tagCounter64:
+		v, err := berDecodeUint(content)
+		return Counter64(v), err
+	case tagNoSuchObject:
+		return NoSuchObject{}, nil
+	case tagNoSuchInstance:
+		return NoSuchInstance{}, nil
+	case tagEndOfMibView:
+		return EndOfMibView{}, nil
+	}
+	return nil, fmt.Errorf("snmp: unsupported value tag %#x", tag)
+}

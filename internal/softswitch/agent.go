@@ -1,0 +1,208 @@
+package softswitch
+
+import (
+	"io"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/flowtable"
+	"github.com/harmless-sdn/harmless/internal/openflow"
+)
+
+// Agent is the switch side of the OpenFlow channel: it answers the
+// handshake, applies controller messages to the datapath, and carries
+// asynchronous events (packet-in, flow-removed, port-status) upstream.
+type Agent struct {
+	sw   *Switch
+	conn *openflow.Conn
+	done chan struct{}
+}
+
+// StartAgent connects the switch to a controller over rw and serves
+// the channel until the transport fails or Stop is called. A periodic
+// flow-expiry sweep runs while the agent is up (sweepInterval <= 0
+// disables it; tests with manual clocks call SweepExpired directly).
+func (s *Switch) StartAgent(rw io.ReadWriteCloser, sweepInterval time.Duration) *Agent {
+	a := &Agent{sw: s, conn: openflow.NewConn(rw), done: make(chan struct{})}
+	s.agentMu.Lock()
+	s.agent = a
+	s.agentMu.Unlock()
+	go a.serve()
+	if sweepInterval > 0 {
+		go a.sweeper(sweepInterval)
+	}
+	return a
+}
+
+// Stop tears the channel down.
+func (a *Agent) Stop() {
+	select {
+	case <-a.done:
+	default:
+		close(a.done)
+	}
+	a.conn.Close()
+	a.sw.agentMu.Lock()
+	if a.sw.agent == a {
+		a.sw.agent = nil
+	}
+	a.sw.agentMu.Unlock()
+}
+
+// Done is closed when the agent terminates.
+func (a *Agent) Done() <-chan struct{} { return a.done }
+
+func (a *Agent) sweeper(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-t.C:
+			a.sw.SweepExpired()
+		}
+	}
+}
+
+func (a *Agent) serve() {
+	defer a.Stop()
+	// Both sides open with HELLO.
+	if err := a.conn.Send(&openflow.Hello{}); err != nil {
+		return
+	}
+	for {
+		m, err := a.conn.Recv()
+		if err != nil {
+			return
+		}
+		a.handle(m)
+	}
+}
+
+// handle dispatches one controller message.
+func (a *Agent) handle(m openflow.Message) {
+	switch t := m.(type) {
+	case *openflow.Hello:
+		// Version negotiation done (we only speak 1.3).
+	case *openflow.EchoRequest:
+		a.reply(m, &openflow.EchoReply{Data: t.Data})
+	case *openflow.FeaturesRequest:
+		a.reply(m, &openflow.FeaturesReply{
+			DatapathID:   a.sw.dpid,
+			NBuffers:     a.sw.buffers.size,
+			NTables:      uint8(len(a.sw.tables)),
+			Capabilities: openflow.CapFlowStats | openflow.CapTableStats | openflow.CapPortStats | openflow.CapGroupStats,
+		})
+	case *openflow.FlowMod:
+		removed, err := a.sw.ApplyFlowMod(t)
+		if err != nil {
+			a.sendError(m, openflow.ErrTypeFlowModFailed, flowModErrCode(err))
+			return
+		}
+		for _, r := range removed {
+			a.sendFlowRemoved(r)
+		}
+		// A flow-mod referencing a buffered packet releases it through
+		// the new state.
+		if t.BufferID != openflow.NoBuffer && t.Command == openflow.FlowAdd {
+			if frame, ok := a.sw.buffers.take(t.BufferID); ok {
+				if inPort := t.Match.Get(openflow.OXMInPort); inPort != nil {
+					a.sw.Receive(uint32(inPort.Value[0])<<24|uint32(inPort.Value[1])<<16|
+						uint32(inPort.Value[2])<<8|uint32(inPort.Value[3]), frame)
+				}
+			}
+		}
+	case *openflow.GroupMod:
+		if err := a.sw.groups.Apply(t); err != nil {
+			a.sendError(m, openflow.ErrTypeGroupModFailed, 0)
+		}
+	case *openflow.MeterMod:
+		if err := a.sw.meters.Apply(t); err != nil {
+			a.sendError(m, openflow.ErrTypeMeterModFailed, 0)
+		}
+	case *openflow.PacketOut:
+		a.sw.InjectPacketOut(t)
+	case *openflow.BarrierRequest:
+		// The datapath applies messages synchronously, so a barrier
+		// needs no draining.
+		a.reply(m, &openflow.BarrierReply{})
+	case *openflow.MultipartRequest:
+		a.handleMultipart(t)
+	}
+}
+
+func flowModErrCode(err error) uint16 {
+	if err == flowtable.ErrTableFull {
+		return openflow.FlowModFailedTableFull
+	}
+	return openflow.FlowModFailedUnknown
+}
+
+func (a *Agent) handleMultipart(req *openflow.MultipartRequest) {
+	reply := &openflow.MultipartReply{MPType: req.MPType}
+	switch req.MPType {
+	case openflow.MultipartDesc:
+		reply.Desc = &openflow.SwitchDesc{
+			Manufacturer: "HARMLESS project",
+			Hardware:     "emulated datapath",
+			Software:     "softswitch/0.1 (ESwitch-style)",
+			SerialNum:    a.sw.name,
+			Datapath:     a.sw.name,
+		}
+	case openflow.MultipartFlow:
+		tid := openflow.TableAll
+		if req.Flow != nil {
+			tid = req.Flow.TableID
+		}
+		reply.Flows = a.sw.FlowStats(tid)
+	case openflow.MultipartPortStats:
+		reply.Ports = a.sw.PortStats()
+	case openflow.MultipartTable:
+		reply.Tables = a.sw.TableStats()
+	case openflow.MultipartPortDesc:
+		reply.PortDescs = a.sw.PortDescs()
+	default:
+		a.sendError(req, openflow.ErrTypeBadRequest, 0)
+		return
+	}
+	a.reply(req, reply)
+}
+
+// reply sends a response echoing the request's transaction id.
+func (a *Agent) reply(req openflow.Message, resp openflow.Message) {
+	resp.SetXID(req.XID())
+	_ = a.conn.Send(resp)
+}
+
+func (a *Agent) sendError(req openflow.Message, errType, code uint16) {
+	data, _ := req.Marshal()
+	if len(data) > 64 {
+		data = data[:64]
+	}
+	e := &openflow.Error{ErrType: errType, Code: code, Data: data}
+	e.SetXID(req.XID())
+	_ = a.conn.Send(e)
+}
+
+func (a *Agent) sendPacketIn(pi *openflow.PacketIn) {
+	_ = a.conn.Send(pi)
+}
+
+func (a *Agent) sendFlowRemoved(r flowtable.Removed) {
+	_ = a.conn.Send(&openflow.FlowRemoved{
+		Cookie:      r.Entry.Cookie,
+		Priority:    r.Entry.Priority,
+		Reason:      r.Reason,
+		TableID:     r.TableID,
+		DurationSec: uint32(r.Duration.Seconds()),
+		IdleTimeout: r.Entry.IdleTimeout,
+		HardTimeout: r.Entry.HardTimeout,
+		PacketCount: r.Entry.Packets(),
+		ByteCount:   r.Entry.Bytes(),
+		Match:       r.Entry.Match.ToOXM(),
+	})
+}
+
+func (a *Agent) sendPortStatus(reason uint8, desc openflow.PortDesc) {
+	_ = a.conn.Send(&openflow.PortStatus{Reason: reason, Desc: desc})
+}

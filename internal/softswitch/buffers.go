@@ -1,0 +1,47 @@
+package softswitch
+
+import "sync"
+
+// bufferPool stores packets referenced by packet-in buffer ids until
+// the controller releases them via packet-out (or they are overwritten
+// by newer packets — a ring, as in hardware).
+type bufferPool struct {
+	mu     sync.Mutex
+	frames map[uint32][]byte
+	next   uint32
+	size   uint32
+}
+
+func newBufferPool(size int) *bufferPool {
+	return &bufferPool{frames: make(map[uint32][]byte, size), size: uint32(size)}
+}
+
+// store saves a frame and returns its buffer id.
+func (b *bufferPool) store(frame []byte) uint32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.next
+	b.next = (b.next + 1) % b.size
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	b.frames[id] = cp
+	return id
+}
+
+// take removes and returns the frame for id.
+func (b *bufferPool) take(id uint32) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.frames[id]
+	if ok {
+		delete(b.frames, id)
+	}
+	return f, ok
+}
+
+// Len returns the number of buffered frames.
+func (b *bufferPool) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}

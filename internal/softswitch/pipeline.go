@@ -1,0 +1,388 @@
+package softswitch
+
+import (
+	"encoding/binary"
+
+	"github.com/harmless-sdn/harmless/internal/flowtable"
+	"github.com/harmless-sdn/harmless/internal/openflow"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// Receive runs one frame through the OpenFlow pipeline starting at
+// table 0. It is the datapath entry point for both physical ingress
+// and patch-port ingress, and may be called concurrently.
+func (s *Switch) Receive(inPort uint32, frame []byte) {
+	if p := s.getPort(inPort); p != nil {
+		p.counters.RecordRx(len(frame))
+	}
+	s.runPipeline(inPort, frame, 0)
+}
+
+// runPipeline executes tables from startTable onwards.
+func (s *Switch) runPipeline(inPort uint32, frame []byte, startTable uint8) {
+	var key pkt.Key
+	if err := pkt.ExtractKey(frame, inPort, &key); err != nil {
+		s.drops.Inc()
+		return
+	}
+
+	var actionSet []openflow.Action
+	tableID := startTable
+	for {
+		entry := s.lookup(tableID, &key, len(frame))
+		if entry == nil {
+			// OpenFlow 1.3 table-miss without a miss entry: drop.
+			s.drops.Inc()
+			return
+		}
+		next := int16(-1)
+		for _, instr := range entry.Instructions {
+			switch in := instr.(type) {
+			case *openflow.InstrMeter:
+				if !s.meters.Pass(in.MeterID, len(frame)) {
+					s.drops.Inc()
+					return
+				}
+			case *openflow.InstrApplyActions:
+				var ok bool
+				frame, ok = s.applyActions(in.Actions, inPort, frame, tableID, entry)
+				if !ok {
+					return // frame consumed (dropped or fully output)
+				}
+			case *openflow.InstrClearActions:
+				actionSet = actionSet[:0]
+			case *openflow.InstrWriteActions:
+				actionSet = mergeActionSet(actionSet, in.Actions)
+			case *openflow.InstrGotoTable:
+				next = int16(in.TableID)
+			}
+		}
+		if next < 0 || int(next) >= len(s.tables) || uint8(next) <= tableID {
+			break // end of pipeline
+		}
+		tableID = uint8(next)
+	}
+
+	// Execute the accumulated action set (spec order: pop, push,
+	// set-field/dec-ttl, group, output last).
+	if len(actionSet) == 0 {
+		s.drops.Inc()
+		return
+	}
+	ordered := orderActionSet(actionSet)
+	if frame, ok := s.applyActions(ordered, inPort, frame, tableID, nil); ok && frame != nil {
+		// Action set without output: drop (already accounted inside
+		// applyActions when it falls through).
+		s.drops.Inc()
+	}
+}
+
+// lookup consults the fast path when specialization is enabled,
+// falling back to (and recompiling from) the generic table.
+func (s *Switch) lookup(tableID uint8, key *pkt.Key, size int) *flowtable.Entry {
+	t := s.tables[tableID]
+	if !s.specialize {
+		return t.Lookup(key, size)
+	}
+	st := s.fast[tableID].Load()
+	if st == nil || (st.fp == nil && st.failedVersion != t.Version()+1) || (st.fp != nil && !st.fp.Valid(t)) {
+		// (Re)compile. failedVersion is stored +1 so the zero value
+		// never suppresses compilation.
+		if fp, ok := flowtable.Compile(t); ok {
+			st = &fastState{fp: fp}
+		} else {
+			st = &fastState{failedVersion: t.Version() + 1}
+		}
+		s.fast[tableID].Store(st)
+	}
+	if st.fp == nil {
+		return t.Lookup(key, size)
+	}
+	e := st.fp.Lookup(key)
+	if e != nil {
+		e.Hit(size, s.clock.Now())
+	}
+	return e
+}
+
+// mergeActionSet implements write-actions semantics: one action per
+// type, later writes replace earlier ones.
+func mergeActionSet(set, add []openflow.Action) []openflow.Action {
+	for _, a := range add {
+		replaced := false
+		for i, old := range set {
+			if old.ActionType() == a.ActionType() {
+				// set-field actions are per-field.
+				if sf, ok := a.(*openflow.ActionSetField); ok {
+					if osf, ok := old.(*openflow.ActionSetField); ok && osf.OXM.Field != sf.OXM.Field {
+						continue
+					}
+				}
+				set[i] = a
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			set = append(set, a)
+		}
+	}
+	return set
+}
+
+// orderActionSet sorts the action set into spec execution order.
+func orderActionSet(set []openflow.Action) []openflow.Action {
+	rank := func(a openflow.Action) int {
+		switch a.ActionType() {
+		case openflow.ActionTypePopVLAN:
+			return 0
+		case openflow.ActionTypePushVLAN:
+			return 1
+		case openflow.ActionTypeDecNwTTL:
+			return 2
+		case openflow.ActionTypeSetField:
+			return 3
+		case openflow.ActionTypeGroup:
+			return 4
+		case openflow.ActionTypeOutput:
+			return 5
+		}
+		return 3
+	}
+	out := make([]openflow.Action, len(set))
+	copy(out, set)
+	// Insertion sort: the set is tiny and must be stable.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && rank(out[j]) < rank(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// applyActions executes an action list on the frame. It returns the
+// (possibly reallocated) frame and ok=true if the caller retains
+// ownership; ok=false means the frame was consumed (output or
+// dropped). entry may be nil (action-set execution).
+func (s *Switch) applyActions(actions []openflow.Action, inPort uint32, frame []byte, tableID uint8, entry *flowtable.Entry) ([]byte, bool) {
+	for i, a := range actions {
+		switch act := a.(type) {
+		case *openflow.ActionPushVLAN:
+			nf, err := pkt.PushVLAN(frame, act.EtherType, 0)
+			if err != nil {
+				s.drops.Inc()
+				return nil, false
+			}
+			frame = nf
+		case *openflow.ActionPopVLAN:
+			nf, err := pkt.PopVLAN(frame)
+			if err != nil {
+				s.drops.Inc()
+				return nil, false
+			}
+			frame = nf
+		case *openflow.ActionDecNwTTL:
+			ttl, err := pkt.DecIPv4TTL(frame)
+			if err != nil || ttl == 0 {
+				s.drops.Inc()
+				return nil, false
+			}
+		case *openflow.ActionSetField:
+			if err := s.applySetField(act, frame); err != nil {
+				s.drops.Inc()
+				return nil, false
+			}
+		case *openflow.ActionGroup:
+			s.applyGroup(act.GroupID, inPort, frame, tableID)
+			return nil, false // group consumes the frame
+		case *openflow.ActionOutput:
+			last := i == len(actions)-1
+			s.output(act, inPort, frame, tableID, entry, last)
+			if last {
+				return nil, false
+			}
+			// More actions follow: they operate on a fresh copy since
+			// output transferred ownership.
+			cp := make([]byte, len(frame))
+			copy(cp, frame)
+			frame = cp
+		}
+	}
+	return frame, true
+}
+
+// applySetField rewrites one field in place.
+func (s *Switch) applySetField(act *openflow.ActionSetField, frame []byte) error {
+	o := act.OXM
+	switch o.Field {
+	case openflow.OXMVLANVID:
+		vid := binary.BigEndian.Uint16(o.Value) &^ openflow.OXMVIDPresent
+		return pkt.SetVLANID(frame, vid)
+	case openflow.OXMVLANPCP:
+		return pkt.SetVLANPCP(frame, o.Value[0])
+	case openflow.OXMEthDst:
+		var m pkt.MAC
+		copy(m[:], o.Value)
+		return pkt.SetEthDst(frame, m)
+	case openflow.OXMEthSrc:
+		var m pkt.MAC
+		copy(m[:], o.Value)
+		return pkt.SetEthSrc(frame, m)
+	case openflow.OXMIPv4Src:
+		var ip pkt.IPv4
+		copy(ip[:], o.Value)
+		return pkt.SetIPv4Src(frame, ip)
+	case openflow.OXMIPv4Dst:
+		var ip pkt.IPv4
+		copy(ip[:], o.Value)
+		return pkt.SetIPv4Dst(frame, ip)
+	case openflow.OXMTCPSrc, openflow.OXMUDPSrc:
+		return pkt.SetL4Src(frame, binary.BigEndian.Uint16(o.Value))
+	case openflow.OXMTCPDst, openflow.OXMUDPDst:
+		return pkt.SetL4Dst(frame, binary.BigEndian.Uint16(o.Value))
+	}
+	return nil // unsupported set-fields are ignored (logged by vet of flow-mods in a real switch)
+}
+
+// applyGroup executes a group on the frame (consuming it).
+func (s *Switch) applyGroup(groupID, inPort uint32, frame []byte, tableID uint8) {
+	g, ok := s.groups.Get(groupID)
+	if !ok {
+		s.drops.Inc()
+		return
+	}
+	g.Hit(len(frame))
+	switch g.Type {
+	case openflow.GroupTypeAll:
+		// Replicate to every bucket.
+		for i := range g.Buckets {
+			cp := make([]byte, len(frame))
+			copy(cp, frame)
+			if f, ok := s.applyActions(g.Buckets[i].Actions, inPort, cp, tableID, nil); ok && f != nil {
+				s.drops.Inc()
+			}
+		}
+	default:
+		var key pkt.Key
+		if err := pkt.ExtractKey(frame, inPort, &key); err != nil {
+			s.drops.Inc()
+			return
+		}
+		b := g.SelectBucket(flowtable.FlowHash(&key))
+		if b == nil {
+			s.drops.Inc()
+			return
+		}
+		if f, ok := s.applyActions(b.Actions, inPort, frame, tableID, nil); ok && f != nil {
+			s.drops.Inc()
+		}
+	}
+}
+
+// output realizes the OUTPUT action, including reserved ports. last
+// indicates the frame can be transferred without copying.
+func (s *Switch) output(act *openflow.ActionOutput, inPort uint32, frame []byte, tableID uint8, entry *flowtable.Entry, last bool) {
+	switch act.Port {
+	case openflow.PortController:
+		s.sendPacketIn(inPort, frame, act.MaxLen, tableID, entry)
+	case openflow.PortFlood, openflow.PortAll:
+		s.flood(inPort, frame)
+	case openflow.PortInPort:
+		if p := s.getPort(inPort); p != nil {
+			s.transmit(p, ownedCopy(frame, last))
+		}
+	case openflow.PortTable:
+		// Restart the pipeline (packet-out only).
+		s.runPipeline(inPort, ownedCopy(frame, last), 0)
+	default:
+		p := s.getPort(act.Port)
+		if p == nil {
+			s.drops.Inc()
+			return
+		}
+		s.transmit(p, ownedCopy(frame, last))
+	}
+}
+
+// ownedCopy returns frame directly when ownership can transfer, or a
+// copy otherwise.
+func ownedCopy(frame []byte, canTransfer bool) []byte {
+	if canTransfer {
+		return frame
+	}
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	return cp
+}
+
+// flood replicates the frame to every port except the ingress.
+func (s *Switch) flood(inPort uint32, frame []byte) {
+	s.portMu.RLock()
+	targets := make([]*swPort, 0, len(s.ports))
+	for no, p := range s.ports {
+		if no != inPort {
+			targets = append(targets, p)
+		}
+	}
+	s.portMu.RUnlock()
+	for i, p := range targets {
+		s.transmit(p, ownedCopy(frame, i == len(targets)-1))
+	}
+}
+
+// sendPacketIn forwards the frame to the controller.
+func (s *Switch) sendPacketIn(inPort uint32, frame []byte, maxLen uint16, tableID uint8, entry *flowtable.Entry) {
+	s.agentMu.RLock()
+	a := s.agent
+	s.agentMu.RUnlock()
+	if a == nil {
+		s.drops.Inc()
+		return
+	}
+	s.pktIns.Inc()
+
+	reason := openflow.PacketInReasonAction
+	var cookie uint64
+	if entry != nil {
+		cookie = entry.Cookie
+		// A priority-0 match-all entry is the table-miss entry; the
+		// spec reports those packet-ins as NO_MATCH.
+		if entry.Priority == 0 {
+			reason = openflow.PacketInReasonNoMatch
+		}
+	}
+	bufferID := openflow.NoBuffer
+	data := frame
+	if maxLen != 0xffff && int(maxLen) < len(frame) {
+		bufferID = s.buffers.store(frame)
+		data = frame[:maxLen]
+	}
+	match := openflow.Match{}
+	match.WithInPort(inPort)
+	a.sendPacketIn(&openflow.PacketIn{
+		BufferID: bufferID,
+		TotalLen: uint16(len(frame)),
+		Reason:   reason,
+		TableID:  tableID,
+		Cookie:   cookie,
+		Match:    match,
+		Data:     data,
+	})
+}
+
+// InjectPacketOut realizes a controller PACKET_OUT: resolve the buffer
+// (if referenced) and run the actions.
+func (s *Switch) InjectPacketOut(po *openflow.PacketOut) {
+	frame := po.Data
+	if po.BufferID != openflow.NoBuffer {
+		if buffered, ok := s.buffers.take(po.BufferID); ok {
+			frame = buffered
+		}
+	}
+	if len(frame) == 0 {
+		return
+	}
+	if f, ok := s.applyActions(po.Actions, po.InPort, frame, 0, nil); ok && f != nil {
+		s.drops.Inc() // no output action: drop
+	}
+}

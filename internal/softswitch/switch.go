@@ -1,0 +1,384 @@
+// Package softswitch implements the OpenFlow 1.3 software switch that
+// HARMLESS instantiates twice per migrated device: once as the
+// translator (SS_1) and once as the controller-facing main switch
+// (SS_2). It executes the flow-table semantics of internal/flowtable
+// over frames arriving on netem ports or zero-copy patch ports, and
+// exposes the switch side of the OpenFlow channel (Agent).
+//
+// The datapath supports two lookup modes, reproducing the ESwitch
+// design the paper's prototype runs on: a generic priority scan, and a
+// compiled exact-match fast path (flowtable.Compile) that is rebuilt
+// lazily whenever the table version changes.
+package softswitch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/harmless-sdn/harmless/internal/flowtable"
+	"github.com/harmless-sdn/harmless/internal/netem"
+	"github.com/harmless-sdn/harmless/internal/openflow"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+	"github.com/harmless-sdn/harmless/internal/stats"
+)
+
+// DefaultNumTables is the pipeline depth advertised to controllers.
+const DefaultNumTables = 4
+
+// portKind distinguishes physical (netem) from patch ports.
+type portKind int
+
+const (
+	kindNet portKind = iota
+	kindPatch
+)
+
+// swPort is one datapath port.
+type swPort struct {
+	no       uint32
+	name     string
+	kind     portKind
+	netPort  *netem.Port // kindNet
+	peerSw   *Switch     // kindPatch
+	peerPort uint32
+	counters stats.PortCounters
+	hwAddr   pkt.MAC
+}
+
+// Switch is one software switch instance.
+type Switch struct {
+	name  string
+	dpid  uint64
+	clock netem.Clock
+
+	tables []*flowtable.Table
+	groups *flowtable.GroupTable
+	meters *flowtable.MeterTable
+
+	portMu sync.RWMutex
+	ports  map[uint32]*swPort
+
+	specialize bool
+	fast       []atomic.Pointer[fastState]
+
+	buffers *bufferPool
+
+	agentMu sync.RWMutex
+	agent   *Agent // non-nil once connected to a controller
+
+	pktIns stats.Counter
+	drops  stats.Counter
+}
+
+// fastState caches one table's compilation attempt.
+type fastState struct {
+	fp            *flowtable.FastPath
+	failedVersion uint64 // version at which compilation last failed (+1 offset)
+}
+
+// Option configures a Switch.
+type Option func(*Switch)
+
+// WithClock injects a clock for deterministic timeout tests.
+func WithClock(c netem.Clock) Option { return func(s *Switch) { s.clock = c } }
+
+// WithSpecialization enables the ESwitch-style compiled fast path.
+func WithSpecialization(on bool) Option { return func(s *Switch) { s.specialize = on } }
+
+// WithNumTables sets the pipeline depth.
+func WithNumTables(n int) Option {
+	return func(s *Switch) {
+		s.tables = nil
+		for i := 0; i < n; i++ {
+			s.tables = append(s.tables, flowtable.NewTable(uint8(i), s.clock))
+		}
+	}
+}
+
+// New creates a switch with the given datapath id.
+func New(name string, dpid uint64, opts ...Option) *Switch {
+	s := &Switch{
+		name:    name,
+		dpid:    dpid,
+		clock:   netem.RealClock{},
+		groups:  flowtable.NewGroupTable(),
+		ports:   make(map[uint32]*swPort),
+		buffers: newBufferPool(256),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.tables == nil {
+		for i := 0; i < DefaultNumTables; i++ {
+			s.tables = append(s.tables, flowtable.NewTable(uint8(i), s.clock))
+		}
+	}
+	s.meters = flowtable.NewMeterTable(s.clock)
+	s.fast = make([]atomic.Pointer[fastState], len(s.tables))
+	return s
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// DatapathID returns the datapath id.
+func (s *Switch) DatapathID() uint64 { return s.dpid }
+
+// NumTables returns the pipeline depth.
+func (s *Switch) NumTables() int { return len(s.tables) }
+
+// Table returns table id (nil if out of range).
+func (s *Switch) Table(id uint8) *flowtable.Table {
+	if int(id) >= len(s.tables) {
+		return nil
+	}
+	return s.tables[id]
+}
+
+// Groups exposes the group table.
+func (s *Switch) Groups() *flowtable.GroupTable { return s.groups }
+
+// Meters exposes the meter table.
+func (s *Switch) Meters() *flowtable.MeterTable { return s.meters }
+
+// PacketIns returns the count of packets sent to the controller.
+func (s *Switch) PacketIns() uint64 { return s.pktIns.Load() }
+
+// Drops returns the count of packets dropped by the pipeline (table
+// miss or empty action set).
+func (s *Switch) Drops() uint64 { return s.drops.Load() }
+
+// AttachNetPort binds a netem port as datapath port no.
+func (s *Switch) AttachNetPort(no uint32, name string, p *netem.Port) {
+	sp := &swPort{no: no, name: name, kind: kindNet, netPort: p, hwAddr: portMAC(s.dpid, no)}
+	s.portMu.Lock()
+	s.ports[no] = sp
+	s.portMu.Unlock()
+	p.SetReceiver(func(frame []byte) { s.Receive(no, frame) })
+	s.notifyPortStatus(openflow.PortReasonAdd, sp)
+}
+
+// ConnectPatch wires aPort on a to bPort on b with a zero-copy patch
+// link (the HARMLESS-S4 internal wiring between SS_1 and SS_2).
+func ConnectPatch(a *Switch, aPort uint32, b *Switch, bPort uint32) {
+	pa := &swPort{no: aPort, name: fmt.Sprintf("patch-%s%d", b.name, bPort), kind: kindPatch,
+		peerSw: b, peerPort: bPort, hwAddr: portMAC(a.dpid, aPort)}
+	pb := &swPort{no: bPort, name: fmt.Sprintf("patch-%s%d", a.name, aPort), kind: kindPatch,
+		peerSw: a, peerPort: aPort, hwAddr: portMAC(b.dpid, bPort)}
+	a.portMu.Lock()
+	a.ports[aPort] = pa
+	a.portMu.Unlock()
+	b.portMu.Lock()
+	b.ports[bPort] = pb
+	b.portMu.Unlock()
+	a.notifyPortStatus(openflow.PortReasonAdd, pa)
+	b.notifyPortStatus(openflow.PortReasonAdd, pb)
+}
+
+// portMAC derives a stable per-port MAC from the dpid.
+func portMAC(dpid uint64, port uint32) pkt.MAC {
+	return pkt.MAC{0x02, byte(dpid >> 16), byte(dpid >> 8), byte(dpid), byte(port >> 8), byte(port)}
+}
+
+// getPort looks up a datapath port.
+func (s *Switch) getPort(no uint32) *swPort {
+	s.portMu.RLock()
+	defer s.portMu.RUnlock()
+	return s.ports[no]
+}
+
+// PortNumbers returns the attached port numbers in ascending order.
+func (s *Switch) PortNumbers() []uint32 {
+	s.portMu.RLock()
+	defer s.portMu.RUnlock()
+	out := make([]uint32, 0, len(s.ports))
+	for no := range s.ports {
+		out = append(out, no)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PortCounters returns the datapath counters of a port (nil if absent).
+func (s *Switch) PortCounters(no uint32) *stats.PortCounters {
+	if p := s.getPort(no); p != nil {
+		return &p.counters
+	}
+	return nil
+}
+
+// PortDescs renders the OpenFlow port descriptions.
+func (s *Switch) PortDescs() []openflow.PortDesc {
+	s.portMu.RLock()
+	defer s.portMu.RUnlock()
+	out := make([]openflow.PortDesc, 0, len(s.ports))
+	for _, p := range s.ports {
+		out = append(out, openflow.PortDesc{
+			PortNo: p.no, HWAddr: p.hwAddr, Name: p.name,
+			State: openflow.PortStateLive, CurrSpeed: 1e6, MaxSpeed: 1e6,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PortNo < out[j].PortNo })
+	return out
+}
+
+// transmit sends a frame out a datapath port.
+func (s *Switch) transmit(p *swPort, frame []byte) {
+	p.counters.RecordTx(len(frame))
+	switch p.kind {
+	case kindNet:
+		_ = p.netPort.Send(frame)
+	case kindPatch:
+		p.peerSw.Receive(p.peerPort, frame)
+	}
+}
+
+// ApplyFlowMod applies a flow-mod locally (management path and OF
+// agent both funnel through here). Returned Removed entries carry
+// flow-removed notifications for entries with the SendFlowRem flag.
+func (s *Switch) ApplyFlowMod(fm *openflow.FlowMod) ([]flowtable.Removed, error) {
+	if int(fm.TableID) >= len(s.tables) && !(fm.Command == openflow.FlowDelete && fm.TableID == openflow.TableAll) {
+		return nil, fmt.Errorf("softswitch: table %d out of range", fm.TableID)
+	}
+	match, err := flowtable.FromOXM(&fm.Match)
+	if err != nil {
+		return nil, err
+	}
+	if err := match.ValidatePrerequisites(); err != nil {
+		return nil, err
+	}
+	switch fm.Command {
+	case openflow.FlowAdd:
+		entry := &flowtable.Entry{
+			Priority:     fm.Priority,
+			Match:        match,
+			Instructions: fm.Instructions,
+			Cookie:       fm.Cookie,
+			IdleTimeout:  fm.IdleTimeout,
+			HardTimeout:  fm.HardTimeout,
+			Flags:        fm.Flags,
+		}
+		return nil, s.tables[fm.TableID].Add(entry)
+	case openflow.FlowModify, openflow.FlowModifyStrict:
+		s.tables[fm.TableID].Modify(match, fm.Priority, fm.Command == openflow.FlowModifyStrict, fm.Instructions)
+		return nil, nil
+	case openflow.FlowDelete, openflow.FlowDeleteStrict:
+		var removed []flowtable.Removed
+		if fm.TableID == openflow.TableAll && fm.Command == openflow.FlowDelete {
+			for _, t := range s.tables {
+				removed = append(removed, t.Delete(match, fm.Priority, false, fm.OutPort)...)
+			}
+		} else {
+			removed = s.tables[fm.TableID].Delete(match, fm.Priority, fm.Command == openflow.FlowDeleteStrict, fm.OutPort)
+		}
+		// Only report entries that asked for notification.
+		var notify []flowtable.Removed
+		for _, r := range removed {
+			if r.Entry.Flags&openflow.FlowFlagSendFlowRem != 0 {
+				notify = append(notify, r)
+			}
+		}
+		return notify, nil
+	}
+	return nil, fmt.Errorf("softswitch: unknown flow-mod command %d", fm.Command)
+}
+
+// SweepExpired expires timed-out entries across all tables and returns
+// the ones requesting flow-removed notification. The OF agent calls
+// this periodically; tests call it directly with a manual clock.
+func (s *Switch) SweepExpired() []flowtable.Removed {
+	var notify []flowtable.Removed
+	for _, t := range s.tables {
+		for _, r := range t.ExpireEntries() {
+			if r.Entry.Flags&openflow.FlowFlagSendFlowRem != 0 {
+				notify = append(notify, r)
+			}
+		}
+	}
+	if s.agent != nil && len(notify) > 0 {
+		s.agentMu.RLock()
+		a := s.agent
+		s.agentMu.RUnlock()
+		if a != nil {
+			for _, r := range notify {
+				a.sendFlowRemoved(r)
+			}
+		}
+	}
+	return notify
+}
+
+// notifyPortStatus forwards a port event to the controller, if any.
+func (s *Switch) notifyPortStatus(reason uint8, p *swPort) {
+	s.agentMu.RLock()
+	a := s.agent
+	s.agentMu.RUnlock()
+	if a == nil {
+		return
+	}
+	a.sendPortStatus(reason, openflow.PortDesc{
+		PortNo: p.no, HWAddr: p.hwAddr, Name: p.name, State: openflow.PortStateLive,
+	})
+}
+
+// FlowStats renders current flow statistics (the multipart FLOW body).
+func (s *Switch) FlowStats(tableID uint8) []openflow.FlowStats {
+	var out []openflow.FlowStats
+	now := s.clock.Now()
+	for _, t := range s.tables {
+		if tableID != openflow.TableAll && t.ID() != tableID {
+			continue
+		}
+		for _, e := range t.Entries() {
+			out = append(out, openflow.FlowStats{
+				TableID:      t.ID(),
+				DurationSec:  uint32(now.Sub(e.Created()).Seconds()),
+				Priority:     e.Priority,
+				IdleTimeout:  e.IdleTimeout,
+				HardTimeout:  e.HardTimeout,
+				Cookie:       e.Cookie,
+				PacketCount:  e.Packets(),
+				ByteCount:    e.Bytes(),
+				Match:        e.Match.ToOXM(),
+				Instructions: e.Instructions,
+			})
+		}
+	}
+	return out
+}
+
+// PortStats renders current port statistics.
+func (s *Switch) PortStats() []openflow.PortStats {
+	s.portMu.RLock()
+	defer s.portMu.RUnlock()
+	out := make([]openflow.PortStats, 0, len(s.ports))
+	for _, p := range s.ports {
+		out = append(out, openflow.PortStats{
+			PortNo:    p.no,
+			RxPackets: p.counters.RxPackets.Load(),
+			TxPackets: p.counters.TxPackets.Load(),
+			RxBytes:   p.counters.RxBytes.Load(),
+			TxBytes:   p.counters.TxBytes.Load(),
+			RxDropped: p.counters.RxDropped.Load(),
+			TxDropped: p.counters.TxDropped.Load(),
+			RxErrors:  p.counters.RxErrors.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PortNo < out[j].PortNo })
+	return out
+}
+
+// TableStats renders per-table statistics.
+func (s *Switch) TableStats() []openflow.TableStats {
+	out := make([]openflow.TableStats, 0, len(s.tables))
+	for _, t := range s.tables {
+		lookups, matched := t.Stats()
+		out = append(out, openflow.TableStats{
+			TableID: t.ID(), ActiveCount: uint32(t.Len()),
+			LookupCount: lookups, MatchedCount: matched,
+		})
+	}
+	return out
+}
