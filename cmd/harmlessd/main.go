@@ -155,6 +155,10 @@ func printStatus(d *fabric.Deployment) {
 		d.S4.SS1.PortCounters(1).RxPackets.Load(),
 		d.S4.SS1.PortCounters(1).TxPackets.Load(),
 		lookups0, matched0, d.S4.SS2.PacketIns(), d.S4.SS2.Drops())
+	if c1, c2 := d.S4.SS1.CacheStats(), d.S4.SS2.CacheStats(); c1 != nil && c2 != nil {
+		fmt.Printf("status: microflow cache SS_1 %s (%d flows) | SS_2 %s (%d flows)\n",
+			c1, d.S4.SS1.CacheLen(), c2, d.S4.SS2.CacheLen())
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,3 @@
+module github.com/harmless-sdn/harmless
+
+go 1.24

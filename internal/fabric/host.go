@@ -2,7 +2,9 @@
 // demo: hosts with a small network stack (ARP, ICMPv4 echo, UDP, a
 // minimal TCP for request/response exchanges, and a DNS client), frame
 // taps for path verification, and traffic generators for the
-// performance experiments.
+// performance experiments (traffic.go: fixed-size and IMIX frame
+// pools, uniform, Zipf-skewed, and adversarial cache-thrash flow
+// mixes).
 //
 // Hosts are deliberately simple — they generate exactly the frames the
 // demo's physical hosts would, which is all the HARMLESS claims need.

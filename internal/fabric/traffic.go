@@ -26,8 +26,11 @@ type FlowSpec struct {
 
 // Generator produces pre-built frames for benchmark loops. Frames are
 // built once so the generator adds no measurable cost to the loop.
+// With no explicit order the frames cycle round-robin; generators with
+// a skewed popularity (NewZipfGenerator) precompute an order instead.
 type Generator struct {
 	frames [][]byte
+	order  []int // nil = round-robin over frames
 	next   int
 }
 
@@ -93,9 +96,42 @@ func NewFlowGenerator(size int, flows []FlowSpec) *Generator {
 	return g
 }
 
-// Next returns the next frame in round-robin order. The returned slice
-// is shared: consumers that mutate frames must copy it (CopyNext).
+// NewZipfGenerator builds nFlows distinct UDP flows of the given wire
+// size and emits them with Zipf-distributed popularity of skew s > 1
+// (flow 0 hottest), the standard model for Internet flow popularity.
+// The emission order is precomputed so Next stays allocation-free.
+func NewZipfGenerator(size, nFlows int, s float64, seed int64) *Generator {
+	g := NewUDPGenerator(size, nFlows, seed)
+	if len(g.frames) < 2 {
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	z := rand.NewZipf(rng, s, 1, uint64(len(g.frames)-1))
+	order := make([]int, 8*len(g.frames))
+	for i := range order {
+		order[i] = int(z.Uint64())
+	}
+	g.order = order
+	return g
+}
+
+// NewThrashGenerator builds adversarial cache-thrash traffic: nFlows
+// distinct flows visited round-robin, so with nFlows larger than an
+// exact-match cache's capacity every packet misses and displaces a
+// cached entry — the worst case for a microflow-cached datapath.
+func NewThrashGenerator(size, nFlows int, seed int64) *Generator {
+	return NewUDPGenerator(size, nFlows, seed)
+}
+
+// Next returns the next frame in generation order (round-robin, or the
+// precomputed popularity order). The returned slice is shared:
+// consumers that mutate frames must copy it (CopyNext).
 func (g *Generator) Next() []byte {
+	if g.order != nil {
+		f := g.frames[g.order[g.next]]
+		g.next = (g.next + 1) % len(g.order)
+		return f
+	}
 	f := g.frames[g.next]
 	g.next = (g.next + 1) % len(g.frames)
 	return f

@@ -299,7 +299,7 @@ func TestTableModify(t *testing.T) {
 		t.Error("modify reset counters")
 	}
 	got := tbl.Lookup(udpKey(1, hostA, hostB, ipA, ipB, 1, 2), 50)
-	acts := got.Instructions[0].(*openflow.InstrApplyActions).Actions
+	acts := got.Instrs()[0].(*openflow.InstrApplyActions).Actions
 	if acts[0].(*openflow.ActionOutput).Port != 9 {
 		t.Error("instructions not updated")
 	}

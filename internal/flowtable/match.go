@@ -5,6 +5,13 @@
 // compiles tables of exact-match templates into hash lookups
 // (see specialize.go).
 //
+// Every Table (and the GroupTable) carries a revision counter, bumped
+// on each flow-mod, group-mod, and expiry. Datapath caches — the
+// specializer and the softswitch microflow cache — record the
+// revisions their decisions were derived from and revalidate on every
+// use, which is what keeps cached forwarding coherent with the rules
+// (see DESIGN.md for the invalidation rules).
+//
 // The package separates protocol encoding (internal/openflow) from
 // matching semantics: Match here is the evaluated form, convertible
 // to/from the OXM TLV lists that travel on the wire.

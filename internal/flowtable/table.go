@@ -12,7 +12,11 @@ import (
 	"github.com/harmless-sdn/harmless/internal/pkt"
 )
 
-// Entry is one installed flow.
+// Entry is one installed flow. The Instructions field holds the
+// program the entry was installed with; after a flow-modify the live
+// program is the one Instrs returns, which readers on the datapath
+// must use (Modify publishes the replacement atomically so lookups
+// racing a flow-mod never observe a torn instruction list).
 type Entry struct {
 	Priority     uint16
 	Match        *Match
@@ -22,10 +26,21 @@ type Entry struct {
 	HardTimeout  uint16
 	Flags        uint16
 
+	instrs   atomic.Pointer[[]openflow.Instruction] // set by Modify; nil = Instructions
 	created  time.Time
 	lastUsed atomic.Int64 // unix nanos
 	packets  atomic.Uint64
 	bytes    atomic.Uint64
+}
+
+// Instrs returns the entry's current instruction program. Unlike
+// reading the Instructions field it is safe to call concurrently with
+// Table.Modify.
+func (e *Entry) Instrs() []openflow.Instruction {
+	if p := e.instrs.Load(); p != nil {
+		return *p
+	}
+	return e.Instructions
 }
 
 // Packets returns the packet hit counter.
@@ -64,7 +79,7 @@ func (e *Entry) outputsTo(port uint32) bool {
 	if port == openflow.PortAny {
 		return true
 	}
-	for _, in := range e.Instructions {
+	for _, in := range e.Instrs() {
 		var acts []openflow.Action
 		switch t := in.(type) {
 		case *openflow.InstrApplyActions:
@@ -126,8 +141,11 @@ func (t *Table) SetMaxFlows(n int) { t.maxFlows = n }
 // ID returns the table id.
 func (t *Table) ID() uint8 { return t.id }
 
-// Version returns the modification counter; it changes whenever the
-// set of entries changes, which the specializer uses for invalidation.
+// Version returns the table's revision counter. It is bumped on every
+// flow-mod (add, modify, delete) and on entry expiry, and is what the
+// datapath caches — the ESwitch specializer and the softswitch
+// microflow cache — validate against so a cached forwarding decision
+// never outlives the rules it was derived from.
 func (t *Table) Version() uint64 { return t.version.Load() }
 
 // Len returns the number of installed entries.
@@ -161,6 +179,16 @@ func (t *Table) Lookup(k *pkt.Key, size int) *Entry {
 		hit.Hit(size, t.clock.Now())
 	}
 	return hit
+}
+
+// CreditHit accounts a cache-hit forwarding decision against the table
+// and entry counters exactly as the Lookup that produced the cached
+// decision would have: one lookup, one match, one entry hit (which
+// also refreshes the idle-timeout clock).
+func (t *Table) CreditHit(e *Entry, size int) {
+	t.lookups.Add(1)
+	t.matched.Add(1)
+	e.Hit(size, t.clock.Now())
 }
 
 // Add installs a flow per OFPFC_ADD semantics: an entry with identical
@@ -210,7 +238,7 @@ func (t *Table) Modify(match *Match, priority uint16, strict bool, instrs []open
 		} else if !e.Match.CoveredBy(match) {
 			continue
 		}
-		e.Instructions = instrs
+		e.instrs.Store(&instrs)
 		n++
 	}
 	if n > 0 {

@@ -145,6 +145,39 @@ func extractARPKey(b []byte, k *Key) {
 	copy(k.ARPTPA[:], b[24:28])
 }
 
+// Hash returns a well-mixed 64-bit hash of the key, cheap enough to
+// call per packet. The softswitch microflow cache uses it to pick a
+// shard; flow-affinity hashing (group SELECT buckets) has its own hash
+// in internal/flowtable. Only the fields that commonly differ between
+// flows are mixed in — two keys that collide here still compare
+// unequal, so collisions only cost a shared shard, never a wrong hit.
+func (k *Key) Hash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix32 := func(v uint32) {
+		h = (h ^ uint64(v)) * prime
+	}
+	mix32(k.InPort)
+	mix32(binary.BigEndian.Uint32(k.EthDst[0:4]))
+	mix32(uint32(k.EthDst[4])<<8 | uint32(k.EthDst[5]))
+	mix32(binary.BigEndian.Uint32(k.EthSrc[0:4]))
+	mix32(uint32(k.EthSrc[4])<<8 | uint32(k.EthSrc[5]))
+	mix32(uint32(k.EthType)<<16 | uint32(k.VLANID))
+	mix32(binary.BigEndian.Uint32(k.IPSrc[:]))
+	mix32(binary.BigEndian.Uint32(k.IPDst[:]))
+	mix32(uint32(k.IPProto)<<16 | uint32(k.ICMPType)<<8 | uint32(k.ICMPCode))
+	mix32(uint32(k.L4Src)<<16 | uint32(k.L4Dst))
+	mix32(binary.BigEndian.Uint32(k.ARPSPA[:]) ^ binary.BigEndian.Uint32(k.ARPTPA[:]))
+	// Finish with a splitmix64-style scrambler so the low bits (used
+	// for shard selection) avalanche properly.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
 // String summarizes the key for diagnostics.
 func (k *Key) String() string {
 	s := fmt.Sprintf("in=%d %s>%s 0x%04x", k.InPort, k.EthSrc, k.EthDst, k.EthType)

@@ -16,7 +16,9 @@
 // all OpenFlow-matchable fields out of a frame in a single pass without
 // building layer objects at all, and the in-place mutators in mutate.go
 // that implement OpenFlow set-field/push/pop actions with incremental
-// checksum fixup.
+// checksum fixup. Key is a comparable value type with a cheap Hash, so
+// it serves directly as the lookup key of the softswitch's exact-match
+// microflow cache.
 package pkt
 
 import (

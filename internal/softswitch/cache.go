@@ -1,0 +1,209 @@
+package softswitch
+
+import (
+	"sync"
+
+	"github.com/harmless-sdn/harmless/internal/flowtable"
+	"github.com/harmless-sdn/harmless/internal/openflow"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+	"github.com/harmless-sdn/harmless/internal/stats"
+)
+
+// Microflow cache: the OVS-style exact-match fast path in front of the
+// full pipeline walk. The first packet of a flow traverses the tables
+// normally while a recorder captures the resulting "megaflow": the
+// flat sequence of datapath operations the walk performed (meter
+// checks, apply-actions lists, the final ordered action set) plus the
+// table entries to credit for counters and idle timeouts. Subsequent
+// packets with an identical header key replay that program directly,
+// skipping key re-classification against every table.
+//
+// Correctness rests on revision validation, not on synchronous
+// invalidation: each megaflow records the revision (Table.Version) of
+// every table it consulted — read *before* the lookup, so a racing
+// flow-mod can only make the recording stale, never silently valid —
+// and the group-table revision when the program executes a group.
+// A hit first revalidates all recorded revisions; any mismatch
+// discards the entry and takes the slow path, so a flow-mod, expiry,
+// or group-mod is visible to the very next packet.
+//
+// Per-packet state (meters, group bucket selection, TTL checks,
+// packet-in delivery) is deliberately kept out of the cached decision:
+// the program stores the *operations*, which are re-executed per
+// packet, so meters still shed load, SELECT groups still hash, and a
+// cached TTL-decrement still drops expiring packets.
+
+const (
+	// microflowShards is the number of independently locked cache
+	// shards; a power of two so shard selection is a mask.
+	microflowShards = 32
+
+	// DefaultMicroflowCacheSize is the default total capacity of the
+	// microflow cache in megaflow entries.
+	DefaultMicroflowCacheSize = 1 << 15
+)
+
+// tableDep is one table the recorded walk consulted, with the
+// revision it had when the decision was made (validated on every hit).
+type tableDep struct {
+	table *flowtable.Table
+	rev   uint64
+}
+
+// opKind discriminates the replayable datapath operations.
+type opKind uint8
+
+const (
+	opCredit opKind = iota // account the table/entry match
+	opMeter                // run the meter
+	opApply                // execute an action list
+)
+
+// microOp is one replayable datapath operation. Credits are recorded
+// in-stream at the position the walk matched the entry, so a replay
+// that stops early (meter drop, TTL expiry) credits exactly the
+// tables the equivalent walk would have consulted, with the frame
+// size the walk would have seen at that point.
+type microOp struct {
+	kind    opKind
+	meterID uint32           // opMeter
+	table   *flowtable.Table // opCredit
+	acts    []openflow.Action
+	tableID uint8
+	entry   *flowtable.Entry // opCredit: entry to credit; opApply: packet-in context (nil for the action set)
+}
+
+// microflow is one cached megaflow: the dependency set to revalidate
+// and the operation program to replay. It doubles as the recorder the
+// pipeline walk fills in.
+type microflow struct {
+	deps     []tableDep
+	ops      []microOp
+	groups   *flowtable.GroupTable // non-nil when the program executes a group
+	groupRev uint64
+
+	// uncacheable marks recorder state that must not be installed: the
+	// walk ended in a table miss (a later flow-add must see the key
+	// again) or in a per-packet drop mid-walk (the rest of the program
+	// was never observed).
+	uncacheable bool
+}
+
+// valid reports whether every recorded revision still matches the live
+// tables (and group table), i.e. replaying cannot disagree with a walk.
+func (mf *microflow) valid() bool {
+	for i := range mf.deps {
+		if mf.deps[i].table.Version() != mf.deps[i].rev {
+			return false
+		}
+	}
+	if mf.groups != nil && mf.groups.Version() != mf.groupRev {
+		return false
+	}
+	return true
+}
+
+// usesGroups reports whether any recorded action executes a group.
+// Group contents are resolved live at replay time (applyGroup looks
+// the group up per packet), so the revision dependency this feeds is
+// defense-in-depth rather than load-bearing: it additionally forces a
+// fresh walk after any group-mod, at the cost of re-recording the
+// affected megaflows.
+func (mf *microflow) usesGroups() bool {
+	for i := range mf.ops {
+		for _, a := range mf.ops[i].acts {
+			if _, ok := a.(*openflow.ActionGroup); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cacheShard is one independently locked slice of the cache.
+type cacheShard struct {
+	mu    sync.RWMutex
+	flows map[pkt.Key]*microflow
+}
+
+// microflowCache is the sharded exact-match cache.
+type microflowCache struct {
+	shards [microflowShards]cacheShard
+	cap    int // per-shard entry cap
+	stats  stats.CacheCounters
+}
+
+// newMicroflowCache sizes a cache for totalCap megaflows.
+func newMicroflowCache(totalCap int) *microflowCache {
+	perShard := totalCap / microflowShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &microflowCache{cap: perShard}
+	for i := range c.shards {
+		c.shards[i].flows = make(map[pkt.Key]*microflow)
+	}
+	return c
+}
+
+func (c *microflowCache) shardFor(k *pkt.Key) *cacheShard {
+	return &c.shards[k.Hash()&(microflowShards-1)]
+}
+
+// lookup returns a still-valid megaflow for the key, or nil. Stale
+// entries are removed on the way out; hit/miss/invalidation counters
+// are maintained here.
+func (c *microflowCache) lookup(k *pkt.Key) *microflow {
+	sh := c.shardFor(k)
+	sh.mu.RLock()
+	mf := sh.flows[*k]
+	sh.mu.RUnlock()
+	if mf == nil {
+		c.stats.Misses.Inc()
+		return nil
+	}
+	if !mf.valid() {
+		sh.mu.Lock()
+		// Only remove the exact entry we saw: a racing walk may have
+		// installed a fresher replacement already.
+		if sh.flows[*k] == mf {
+			delete(sh.flows, *k)
+		}
+		sh.mu.Unlock()
+		c.stats.Invalidations.Inc()
+		c.stats.Misses.Inc()
+		return nil
+	}
+	c.stats.Hits.Inc()
+	return mf
+}
+
+// insert installs a recorded megaflow, evicting an arbitrary entry of
+// the same shard when the shard is at capacity (map iteration order
+// gives a cheap pseudo-random victim, which is how the OVS microflow
+// cache handles thrash: constant-time displacement, no LRU tracking).
+func (c *microflowCache) insert(k *pkt.Key, mf *microflow) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if _, exists := sh.flows[*k]; !exists && len(sh.flows) >= c.cap {
+		for victim := range sh.flows {
+			delete(sh.flows, victim)
+			c.stats.Evictions.Inc()
+			break
+		}
+	}
+	sh.flows[*k] = mf
+	sh.mu.Unlock()
+	c.stats.Inserts.Inc()
+}
+
+// Len returns the number of cached megaflows (diagnostics only).
+func (c *microflowCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].flows)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,313 @@
+package softswitch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/netem"
+	"github.com/harmless-sdn/harmless/internal/openflow"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+func flowMod(cmd uint8, table uint8, priority uint16, m openflow.Match, instrs ...openflow.Instruction) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		TableID: table, Command: cmd, Priority: priority,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortAny, OutGroup: openflow.GroupAny,
+		Match: m, Instructions: instrs,
+	}
+}
+
+func TestMicroflowCacheHitCounters(t *testing.T) {
+	r := newRig(t, 2)
+	m := openflow.Match{}
+	m.WithInPort(1)
+	addFlow(t, r.sw, 0, 10, m, apply(out(2)))
+
+	f := udpFrame(t, macA, macB, ipA, ipB, 1, 2, "x")
+	for i := 0; i < 5; i++ {
+		r.inject(t, 1, f)
+	}
+	if r.hosts[2].count() != 5 {
+		t.Fatalf("forwarded %d", r.hosts[2].count())
+	}
+	cs := r.sw.CacheStats()
+	if cs == nil {
+		t.Fatal("cache disabled by default")
+	}
+	if cs.Misses.Load() != 1 || cs.Hits.Load() != 4 || cs.Inserts.Load() != 1 {
+		t.Errorf("cache stats: %s", cs)
+	}
+	if r.sw.CacheLen() != 1 {
+		t.Errorf("cache len = %d", r.sw.CacheLen())
+	}
+	// Flow counters must account every packet, cached or not.
+	fs := r.sw.FlowStats(openflow.TableAll)
+	if len(fs) != 1 || fs[0].PacketCount != 5 {
+		t.Errorf("flow stats: %+v", fs)
+	}
+	lookups, matched := r.sw.Table(0).Stats()
+	if lookups != 5 || matched != 5 {
+		t.Errorf("table stats: %d/%d", lookups, matched)
+	}
+}
+
+// TestCacheInvalidationFlowMod is the acceptance scenario: install a
+// flow, forward (populating the cache), then modify/replace/delete the
+// flow and assert the very next packet follows the new pipeline state.
+func TestCacheInvalidationFlowMod(t *testing.T) {
+	r := newRig(t, 4)
+	m := openflow.Match{}
+	m.WithInPort(1)
+	addFlow(t, r.sw, 0, 10, m, apply(out(2)))
+
+	f := udpFrame(t, macA, macB, ipA, ipB, 1, 2, "x")
+	r.inject(t, 1, f) // miss: walk + cache fill
+	r.inject(t, 1, f) // hit
+	if r.hosts[2].count() != 2 {
+		t.Fatalf("port2 = %d", r.hosts[2].count())
+	}
+
+	// FlowAdd with identical match+priority replaces the entry.
+	if _, err := r.sw.ApplyFlowMod(flowMod(openflow.FlowAdd, 0, 10, m, apply(out(3)))); err != nil {
+		t.Fatal(err)
+	}
+	r.inject(t, 1, f)
+	if r.hosts[2].count() != 2 || r.hosts[3].count() != 1 {
+		t.Fatalf("after replace: port2=%d port3=%d", r.hosts[2].count(), r.hosts[3].count())
+	}
+
+	// FlowModify rewrites the instructions in place.
+	if _, err := r.sw.ApplyFlowMod(flowMod(openflow.FlowModify, 0, 10, m, apply(out(4)))); err != nil {
+		t.Fatal(err)
+	}
+	r.inject(t, 1, f)
+	if r.hosts[3].count() != 1 || r.hosts[4].count() != 1 {
+		t.Fatalf("after modify: port3=%d port4=%d", r.hosts[3].count(), r.hosts[4].count())
+	}
+
+	// FlowDelete: the very next packet must miss and drop.
+	drops := r.sw.Drops()
+	if _, err := r.sw.ApplyFlowMod(flowMod(openflow.FlowDelete, 0, 0, openflow.Match{})); err != nil {
+		t.Fatal(err)
+	}
+	r.inject(t, 1, f)
+	if r.hosts[4].count() != 1 {
+		t.Errorf("forwarded after delete: port4=%d", r.hosts[4].count())
+	}
+	if r.sw.Drops() != drops+1 {
+		t.Errorf("drops = %d, want %d", r.sw.Drops(), drops+1)
+	}
+	if inv := r.sw.CacheStats().Invalidations.Load(); inv < 3 {
+		t.Errorf("invalidations = %d, want >= 3", inv)
+	}
+}
+
+func TestCacheInvalidationOnExpiry(t *testing.T) {
+	clk := netem.NewManualClock()
+	r := newRig(t, 2, WithClock(clk))
+	m := openflow.Match{}
+	m.WithInPort(1)
+	if _, err := r.sw.ApplyFlowMod(&openflow.FlowMod{
+		TableID: 0, Command: openflow.FlowAdd, Priority: 10, IdleTimeout: 5,
+		Flags:    openflow.FlowFlagSendFlowRem,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortAny, OutGroup: openflow.GroupAny,
+		Match: m, Instructions: []openflow.Instruction{apply(out(2))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := udpFrame(t, macA, macB, ipA, ipB, 1, 2, "x")
+	r.inject(t, 1, f)
+	r.inject(t, 1, f)
+	if r.hosts[2].count() != 2 {
+		t.Fatalf("port2 = %d", r.hosts[2].count())
+	}
+	clk.Advance(6 * time.Second)
+	if removed := r.sw.SweepExpired(); len(removed) != 1 {
+		t.Fatalf("expired %d", len(removed))
+	}
+	r.inject(t, 1, f)
+	if r.hosts[2].count() != 2 {
+		t.Error("cached megaflow survived entry expiry")
+	}
+}
+
+// TestCacheInvalidationOnGroupMod: a cached program that traverses a
+// group must observe a group-mod on the very next packet.
+func TestCacheInvalidationOnGroupMod(t *testing.T) {
+	r := newRig(t, 3)
+	if err := r.sw.Groups().Apply(&openflow.GroupMod{
+		Command: openflow.GroupAdd, GroupType: openflow.GroupTypeIndirect, GroupID: 1,
+		Buckets: []openflow.Bucket{{Actions: []openflow.Action{out(2)}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addFlow(t, r.sw, 0, 10, openflow.Match{}, apply(&openflow.ActionGroup{GroupID: 1}))
+
+	f := udpFrame(t, macA, macB, ipA, ipB, 1, 2, "g")
+	r.inject(t, 1, f)
+	r.inject(t, 1, f)
+	if r.hosts[2].count() != 2 {
+		t.Fatalf("port2 = %d", r.hosts[2].count())
+	}
+	if err := r.sw.Groups().Apply(&openflow.GroupMod{
+		Command: openflow.GroupModify, GroupType: openflow.GroupTypeIndirect, GroupID: 1,
+		Buckets: []openflow.Bucket{{Actions: []openflow.Action{out(3)}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.inject(t, 1, f)
+	if r.hosts[2].count() != 2 || r.hosts[3].count() != 1 {
+		t.Errorf("after group-mod: port2=%d port3=%d", r.hosts[2].count(), r.hosts[3].count())
+	}
+}
+
+// TestCachedMatchesUncached replays the multi-table action-set program
+// of the pipeline tests with the cache on and off; the outputs must be
+// identical packet for packet.
+func TestCachedMatchesUncached(t *testing.T) {
+	run := func(cached bool) [2]int {
+		r := newRig(t, 3, WithMicroflowCache(cached))
+		m := openflow.Match{}
+		m.WithInPort(1)
+		addFlow(t, r.sw, 0, 10, m,
+			&openflow.InstrWriteActions{Actions: []openflow.Action{out(2)}},
+			&openflow.InstrGotoTable{TableID: 1},
+		)
+		m80 := openflow.Match{}
+		m80.WithEthType(pkt.EtherTypeIPv4).WithIPProto(pkt.IPProtoUDP).WithUDPDst(80)
+		addFlow(t, r.sw, 1, 20, m80,
+			&openflow.InstrWriteActions{Actions: []openflow.Action{out(3)}},
+		)
+		addFlow(t, r.sw, 1, 1, openflow.Match{})
+		for i := 0; i < 3; i++ {
+			r.inject(t, 1, udpFrame(t, macA, macB, ipA, ipB, 1000, 80, "web"))
+			r.inject(t, 1, udpFrame(t, macA, macB, ipA, ipB, 1000, 53, "dns"))
+		}
+		return [2]int{r.hosts[2].count(), r.hosts[3].count()}
+	}
+	cached, uncached := run(true), run(false)
+	if cached != uncached || cached != [2]int{3, 3} {
+		t.Errorf("cached=%v uncached=%v", cached, uncached)
+	}
+}
+
+func TestCacheEvictionUnderThrash(t *testing.T) {
+	// Capacity of one megaflow per shard: distinct flows fight for
+	// slots, forwarding must stay correct throughout.
+	r := newRig(t, 2, WithMicroflowCacheSize(microflowShards))
+	addFlow(t, r.sw, 0, 1, openflow.Match{}, apply(out(2)))
+	n := 0
+	for i := 0; i < 4; i++ {
+		for p := uint16(1); p <= 200; p++ {
+			r.inject(t, 1, udpFrame(t, macA, macB, ipA, ipB, p, 80, "t"))
+			n++
+		}
+	}
+	if r.hosts[2].count() != n {
+		t.Errorf("forwarded %d of %d under thrash", r.hosts[2].count(), n)
+	}
+	cs := r.sw.CacheStats()
+	if cs.Evictions.Load() == 0 {
+		t.Errorf("no evictions under thrash: %s", cs)
+	}
+	if r.sw.CacheLen() > microflowShards {
+		t.Errorf("cache grew past capacity: %d", r.sw.CacheLen())
+	}
+}
+
+// TestCacheMeterDropCreditsLikeWalk: a cached program whose table-0
+// meter drops a replayed packet must credit only table 0 — the walk
+// returns at the meter without ever consulting table 1, and cached
+// counters and idle timeouts must not diverge from that.
+func TestCacheMeterDropCreditsLikeWalk(t *testing.T) {
+	clk := netem.NewManualClock()
+	r := newRig(t, 2, WithClock(clk))
+	if err := r.sw.Meters().Apply(&openflow.MeterMod{
+		Command: openflow.MeterAdd, Flags: openflow.MeterFlagPktps, MeterID: 1,
+		Bands: []openflow.MeterBand{{Type: openflow.MeterBandDrop, Rate: 2, BurstSize: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m := openflow.Match{}
+	m.WithInPort(1)
+	addFlow(t, r.sw, 0, 10, m,
+		&openflow.InstrMeter{MeterID: 1},
+		&openflow.InstrGotoTable{TableID: 1},
+	)
+	addFlow(t, r.sw, 1, 1, openflow.Match{}, apply(out(2)))
+
+	f := udpFrame(t, macA, macB, ipA, ipB, 1, 2, "m")
+	for i := 0; i < 10; i++ {
+		r.inject(t, 1, f) // 2 pass the burst, 8 drop at the meter
+	}
+	if got := r.hosts[2].count(); got != 2 {
+		t.Fatalf("passed %d, want 2 (burst)", got)
+	}
+	l0, _ := r.sw.Table(0).Stats()
+	l1, _ := r.sw.Table(1).Stats()
+	if l0 != 10 || l1 != 2 {
+		t.Errorf("table lookups: t0=%d t1=%d, want 10/2", l0, l1)
+	}
+	// The table-1 entry saw only the 2 passed packets; after its idle
+	// timeout it must expire even while meter-dropped replays continue.
+	fs := r.sw.FlowStats(1)
+	if len(fs) != 1 || fs[0].PacketCount != 2 {
+		t.Errorf("table1 flow stats: %+v", fs)
+	}
+}
+
+// TestConcurrentReceiveFlowMod hammers the datapath from several
+// goroutines while flow-mods (add, modify, delete) and expiry sweeps
+// run concurrently. It passes when run under -race and every packet is
+// either forwarded or dropped (conservation).
+func TestConcurrentReceiveFlowMod(t *testing.T) {
+	sw := New("race", 0x42)
+	l := netem.NewLink(netem.LinkConfig{})
+	defer l.Close()
+	sw.AttachNetPort(2, "out", l.A())
+	l.B().SetReceiver(func([]byte) {})
+
+	m := openflow.Match{}
+	m.WithInPort(1)
+	addFlow(t, sw, 0, 10, m, apply(out(2)))
+
+	const (
+		writers = 4
+		packets = 2000
+	)
+	frames := make([][]byte, 8)
+	for i := range frames {
+		frames[i] = udpFrame(t, macA, macB, ipA, ipB, uint16(1000+i), 80, "race")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < packets; i++ {
+				sw.Receive(1, frames[(w+i)%len(frames)])
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			port := uint32(2)
+			_, _ = sw.ApplyFlowMod(flowMod(openflow.FlowModify, 0, 10, m, apply(out(port))))
+			_, _ = sw.ApplyFlowMod(flowMod(openflow.FlowAdd, 0, 10, m, apply(out(port))))
+			if i%10 == 0 {
+				_, _ = sw.ApplyFlowMod(flowMod(openflow.FlowDelete, 0, 0, openflow.Match{}))
+				_, _ = sw.ApplyFlowMod(flowMod(openflow.FlowAdd, 0, 10, m, apply(out(port))))
+			}
+			sw.SweepExpired()
+		}
+	}()
+	wg.Wait()
+
+	rx := sw.PortCounters(2).TxPackets.Load() // frames that left port 2
+	if rx+sw.Drops() != writers*packets {
+		t.Errorf("conservation: tx=%d drops=%d, want sum %d", rx, sw.Drops(), writers*packets)
+	}
+}

@@ -8,46 +8,147 @@ import (
 	"github.com/harmless-sdn/harmless/internal/pkt"
 )
 
-// Receive runs one frame through the OpenFlow pipeline starting at
-// table 0. It is the datapath entry point for both physical ingress
-// and patch-port ingress, and may be called concurrently.
+// Receive runs one frame through the datapath starting at table 0. It
+// is the entry point for both physical ingress and patch-port ingress,
+// and may be called concurrently. With the microflow cache enabled
+// (the default) the frame's header key is first probed against the
+// cache; a valid hit replays the pre-resolved megaflow program, a miss
+// takes the full pipeline walk and records a new megaflow.
 func (s *Switch) Receive(inPort uint32, frame []byte) {
 	if p := s.getPort(inPort); p != nil {
 		p.counters.RecordRx(len(frame))
 	}
-	s.runPipeline(inPort, frame, 0)
+	var key pkt.Key
+	if err := pkt.ExtractKey(frame, inPort, &key); err != nil {
+		s.drops.Inc()
+		return
+	}
+	c := s.cache
+	if c == nil {
+		s.runPipelineKeyed(&key, inPort, frame, 0, nil)
+		return
+	}
+	if mf := c.lookup(&key); mf != nil {
+		s.replayMicroflow(mf, inPort, frame)
+		return
+	}
+	// Read the group revision before the walk so a group-mod racing
+	// the recording leaves it stale-by-revision, like the table revs.
+	groupRev := s.groups.Version()
+	rec := &microflow{}
+	s.runPipelineKeyed(&key, inPort, frame, 0, rec)
+	if !rec.uncacheable {
+		if rec.usesGroups() {
+			rec.groups = s.groups
+			rec.groupRev = groupRev
+		}
+		c.insert(&key, rec)
+	}
 }
 
-// runPipeline executes tables from startTable onwards.
+// replayMicroflow executes a cached megaflow's operation program.
+// Credits, meters, groups, TTL checks and packet-ins are re-executed
+// per packet in recorded order, so their per-packet semantics — which
+// tables get credited before a meter drop, with which frame size —
+// are identical to the pipeline walk that was recorded.
+func (s *Switch) replayMicroflow(mf *microflow, inPort uint32, frame []byte) {
+	for i := range mf.ops {
+		op := &mf.ops[i]
+		switch op.kind {
+		case opCredit:
+			op.table.CreditHit(op.entry, len(frame))
+			continue
+		case opMeter:
+			if !s.meters.Pass(op.meterID, len(frame)) {
+				s.drops.Inc()
+				return
+			}
+			continue
+		}
+		var res applyResult
+		frame, res = s.applyActions(op.acts, inPort, frame, op.tableID, op.entry)
+		if res != applyRetained {
+			return // frame consumed (output, group) or dropped
+		}
+	}
+	// Program ran to completion without consuming the frame: the walk
+	// ended with an empty action set or one lacking an output. Drop,
+	// exactly as runPipelineKeyed does.
+	s.drops.Inc()
+}
+
+// runPipeline extracts the frame's key and executes tables from
+// startTable onwards (the uncached path; packet-out and OUTPUT:TABLE
+// restarts come through here).
 func (s *Switch) runPipeline(inPort uint32, frame []byte, startTable uint8) {
 	var key pkt.Key
 	if err := pkt.ExtractKey(frame, inPort, &key); err != nil {
 		s.drops.Inc()
 		return
 	}
+	s.runPipelineKeyed(&key, inPort, frame, startTable, nil)
+}
 
+// runPipelineKeyed executes tables from startTable onwards for an
+// already-extracted key. When rec is non-nil every consulted table
+// (with its pre-lookup revision) and every executed operation is
+// recorded so the walk's decision can be cached as a megaflow. The
+// revision is read *before* the lookup: a flow-mod racing the walk
+// then leaves the recording stale-by-revision rather than wrongly
+// valid.
+func (s *Switch) runPipelineKeyed(key *pkt.Key, inPort uint32, frame []byte, startTable uint8, rec *microflow) {
 	var actionSet []openflow.Action
 	tableID := startTable
 	for {
-		entry := s.lookup(tableID, &key, len(frame))
+		var rev uint64
+		if rec != nil {
+			rev = s.tables[tableID].Version()
+		}
+		entry := s.lookup(tableID, key, len(frame))
 		if entry == nil {
-			// OpenFlow 1.3 table-miss without a miss entry: drop.
+			// OpenFlow 1.3 table-miss without a miss entry: drop. Not
+			// cached — a later flow-add must see the packet's key again.
+			if rec != nil {
+				rec.uncacheable = true
+			}
 			s.drops.Inc()
 			return
 		}
+		if rec != nil {
+			rec.deps = append(rec.deps, tableDep{table: s.tables[tableID], rev: rev})
+			rec.ops = append(rec.ops, microOp{kind: opCredit, table: s.tables[tableID], entry: entry})
+		}
 		next := int16(-1)
-		for _, instr := range entry.Instructions {
+		for _, instr := range entry.Instrs() {
 			switch in := instr.(type) {
 			case *openflow.InstrMeter:
+				if rec != nil {
+					rec.ops = append(rec.ops, microOp{kind: opMeter, meterID: in.MeterID})
+				}
 				if !s.meters.Pass(in.MeterID, len(frame)) {
+					// The rest of the walk was never observed; a future
+					// packet of this flow may pass the meter, so the
+					// truncated program must not be cached.
+					if rec != nil {
+						rec.uncacheable = true
+					}
 					s.drops.Inc()
 					return
 				}
 			case *openflow.InstrApplyActions:
-				var ok bool
-				frame, ok = s.applyActions(in.Actions, inPort, frame, tableID, entry)
-				if !ok {
-					return // frame consumed (dropped or fully output)
+				if rec != nil {
+					rec.ops = append(rec.ops, microOp{kind: opApply, acts: in.Actions, tableID: tableID, entry: entry})
+				}
+				var res applyResult
+				frame, res = s.applyActions(in.Actions, inPort, frame, tableID, entry)
+				if res != applyRetained {
+					// A per-packet drop truncates the observed program;
+					// consumption by output/group is structural and the
+					// recording stays cacheable.
+					if rec != nil && res == applyDropped {
+						rec.uncacheable = true
+					}
+					return
 				}
 			case *openflow.InstrClearActions:
 				actionSet = actionSet[:0]
@@ -70,10 +171,15 @@ func (s *Switch) runPipeline(inPort uint32, frame []byte, startTable uint8) {
 		return
 	}
 	ordered := orderActionSet(actionSet)
-	if frame, ok := s.applyActions(ordered, inPort, frame, tableID, nil); ok && frame != nil {
+	if rec != nil {
+		rec.ops = append(rec.ops, microOp{kind: opApply, acts: ordered, tableID: tableID})
+	}
+	if frame, res := s.applyActions(ordered, inPort, frame, tableID, nil); res == applyRetained && frame != nil {
 		// Action set without output: drop (already accounted inside
 		// applyActions when it falls through).
 		s.drops.Inc()
+	} else if rec != nil && res == applyDropped {
+		rec.uncacheable = true
 	}
 }
 
@@ -160,46 +266,61 @@ func orderActionSet(set []openflow.Action) []openflow.Action {
 	return out
 }
 
+// applyResult classifies how an action list left the frame. The
+// distinction between consumed and dropped matters to the microflow
+// recorder: consumption by output/group is decided by the program
+// structure alone (every packet of the flow ends there), while a drop
+// is a per-packet condition (TTL reached zero, malformed tag) after
+// which the rest of the walk is unknown — such walks must not be
+// cached.
+type applyResult int
+
+const (
+	applyRetained applyResult = iota // caller keeps the (possibly reallocated) frame
+	applyConsumed                    // output/group took ownership
+	applyDropped                     // frame dropped by a per-packet condition
+)
+
 // applyActions executes an action list on the frame. It returns the
-// (possibly reallocated) frame and ok=true if the caller retains
-// ownership; ok=false means the frame was consumed (output or
-// dropped). entry may be nil (action-set execution).
-func (s *Switch) applyActions(actions []openflow.Action, inPort uint32, frame []byte, tableID uint8, entry *flowtable.Entry) ([]byte, bool) {
+// (possibly reallocated) frame and applyRetained if the caller keeps
+// ownership; otherwise the frame was consumed or dropped. entry may be
+// nil (action-set execution).
+func (s *Switch) applyActions(actions []openflow.Action, inPort uint32, frame []byte, tableID uint8, entry *flowtable.Entry) ([]byte, applyResult) {
 	for i, a := range actions {
 		switch act := a.(type) {
 		case *openflow.ActionPushVLAN:
 			nf, err := pkt.PushVLAN(frame, act.EtherType, 0)
 			if err != nil {
 				s.drops.Inc()
-				return nil, false
+				return nil, applyDropped
 			}
 			frame = nf
 		case *openflow.ActionPopVLAN:
 			nf, err := pkt.PopVLAN(frame)
 			if err != nil {
 				s.drops.Inc()
-				return nil, false
+				return nil, applyDropped
 			}
 			frame = nf
 		case *openflow.ActionDecNwTTL:
 			ttl, err := pkt.DecIPv4TTL(frame)
 			if err != nil || ttl == 0 {
 				s.drops.Inc()
-				return nil, false
+				return nil, applyDropped
 			}
 		case *openflow.ActionSetField:
 			if err := s.applySetField(act, frame); err != nil {
 				s.drops.Inc()
-				return nil, false
+				return nil, applyDropped
 			}
 		case *openflow.ActionGroup:
 			s.applyGroup(act.GroupID, inPort, frame, tableID)
-			return nil, false // group consumes the frame
+			return nil, applyConsumed // group consumes the frame
 		case *openflow.ActionOutput:
 			last := i == len(actions)-1
 			s.output(act, inPort, frame, tableID, entry, last)
 			if last {
-				return nil, false
+				return nil, applyConsumed
 			}
 			// More actions follow: they operate on a fresh copy since
 			// output transferred ownership.
@@ -208,7 +329,7 @@ func (s *Switch) applyActions(actions []openflow.Action, inPort uint32, frame []
 			frame = cp
 		}
 	}
-	return frame, true
+	return frame, applyRetained
 }
 
 // applySetField rewrites one field in place.
@@ -258,7 +379,7 @@ func (s *Switch) applyGroup(groupID, inPort uint32, frame []byte, tableID uint8)
 		for i := range g.Buckets {
 			cp := make([]byte, len(frame))
 			copy(cp, frame)
-			if f, ok := s.applyActions(g.Buckets[i].Actions, inPort, cp, tableID, nil); ok && f != nil {
+			if f, res := s.applyActions(g.Buckets[i].Actions, inPort, cp, tableID, nil); res == applyRetained && f != nil {
 				s.drops.Inc()
 			}
 		}
@@ -273,7 +394,7 @@ func (s *Switch) applyGroup(groupID, inPort uint32, frame []byte, tableID uint8)
 			s.drops.Inc()
 			return
 		}
-		if f, ok := s.applyActions(b.Actions, inPort, frame, tableID, nil); ok && f != nil {
+		if f, res := s.applyActions(b.Actions, inPort, frame, tableID, nil); res == applyRetained && f != nil {
 			s.drops.Inc()
 		}
 	}
@@ -382,7 +503,7 @@ func (s *Switch) InjectPacketOut(po *openflow.PacketOut) {
 	if len(frame) == 0 {
 		return
 	}
-	if f, ok := s.applyActions(po.Actions, po.InPort, frame, 0, nil); ok && f != nil {
+	if f, res := s.applyActions(po.Actions, po.InPort, frame, 0, nil); res == applyRetained && f != nil {
 		s.drops.Inc() // no output action: drop
 	}
 }

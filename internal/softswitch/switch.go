@@ -5,10 +5,19 @@
 // over frames arriving on netem ports or zero-copy patch ports, and
 // exposes the switch side of the OpenFlow channel (Agent).
 //
-// The datapath supports two lookup modes, reproducing the ESwitch
-// design the paper's prototype runs on: a generic priority scan, and a
-// compiled exact-match fast path (flowtable.Compile) that is rebuilt
-// lazily whenever the table version changes.
+// The datapath layers three lookup modes, fastest first:
+//
+//  1. a microflow cache (cache.go) — an OVS-style sharded exact-match
+//     map from the packet's header key to a pre-resolved megaflow,
+//     revalidated against table revisions on every hit, enabled by
+//     default;
+//  2. the ESwitch-style compiled fast path (flowtable.Compile),
+//     rebuilt lazily whenever the table version changes, opt-in via
+//     WithSpecialization;
+//  3. the generic priority scan of internal/flowtable.
+//
+// See DESIGN.md for the full datapath walk and the cache's
+// invalidation rules.
 package softswitch
 
 import (
@@ -63,6 +72,9 @@ type Switch struct {
 	specialize bool
 	fast       []atomic.Pointer[fastState]
 
+	cacheSize int // microflow-cache capacity; <=0 disables
+	cache     *microflowCache
+
 	buffers *bufferPool
 
 	agentMu sync.RWMutex
@@ -87,6 +99,22 @@ func WithClock(c netem.Clock) Option { return func(s *Switch) { s.clock = c } }
 // WithSpecialization enables the ESwitch-style compiled fast path.
 func WithSpecialization(on bool) Option { return func(s *Switch) { s.specialize = on } }
 
+// WithMicroflowCache switches the exact-match microflow cache on or
+// off (on by default).
+func WithMicroflowCache(on bool) Option {
+	return func(s *Switch) {
+		if on {
+			s.cacheSize = DefaultMicroflowCacheSize
+		} else {
+			s.cacheSize = 0
+		}
+	}
+}
+
+// WithMicroflowCacheSize bounds the microflow cache to roughly n
+// megaflow entries (n <= 0 disables the cache).
+func WithMicroflowCacheSize(n int) Option { return func(s *Switch) { s.cacheSize = n } }
+
 // WithNumTables sets the pipeline depth.
 func WithNumTables(n int) Option {
 	return func(s *Switch) {
@@ -100,12 +128,13 @@ func WithNumTables(n int) Option {
 // New creates a switch with the given datapath id.
 func New(name string, dpid uint64, opts ...Option) *Switch {
 	s := &Switch{
-		name:    name,
-		dpid:    dpid,
-		clock:   netem.RealClock{},
-		groups:  flowtable.NewGroupTable(),
-		ports:   make(map[uint32]*swPort),
-		buffers: newBufferPool(256),
+		name:      name,
+		dpid:      dpid,
+		clock:     netem.RealClock{},
+		groups:    flowtable.NewGroupTable(),
+		ports:     make(map[uint32]*swPort),
+		buffers:   newBufferPool(256),
+		cacheSize: DefaultMicroflowCacheSize,
 	}
 	for _, o := range opts {
 		o(s)
@@ -117,6 +146,9 @@ func New(name string, dpid uint64, opts ...Option) *Switch {
 	}
 	s.meters = flowtable.NewMeterTable(s.clock)
 	s.fast = make([]atomic.Pointer[fastState], len(s.tables))
+	if s.cacheSize > 0 {
+		s.cache = newMicroflowCache(s.cacheSize)
+	}
 	return s
 }
 
@@ -149,6 +181,23 @@ func (s *Switch) PacketIns() uint64 { return s.pktIns.Load() }
 // Drops returns the count of packets dropped by the pipeline (table
 // miss or empty action set).
 func (s *Switch) Drops() uint64 { return s.drops.Load() }
+
+// CacheStats exposes the microflow-cache counters, or nil when the
+// cache is disabled.
+func (s *Switch) CacheStats() *stats.CacheCounters {
+	if s.cache == nil {
+		return nil
+	}
+	return &s.cache.stats
+}
+
+// CacheLen returns the number of cached megaflows (0 when disabled).
+func (s *Switch) CacheLen() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Len()
+}
 
 // AttachNetPort binds a netem port as datapath port no.
 func (s *Switch) AttachNetPort(no uint32, name string, p *netem.Port) {
@@ -342,7 +391,7 @@ func (s *Switch) FlowStats(tableID uint8) []openflow.FlowStats {
 				PacketCount:  e.Packets(),
 				ByteCount:    e.Bytes(),
 				Match:        e.Match.ToOXM(),
-				Instructions: e.Instructions,
+				Instructions: e.Instrs(),
 			})
 		}
 	}

@@ -692,7 +692,8 @@ func BenchmarkPipelineForward(b *testing.B) {
 		on   bool
 	}{{"generic", false}, {"specialized", true}} {
 		b.Run(spec.name, func(b *testing.B) {
-			sw := New("bench", 1, WithSpecialization(spec.on))
+			// Cache off: this benchmark compares the two walk modes.
+			sw := New("bench", 1, WithSpecialization(spec.on), WithMicroflowCache(false))
 			l1 := netem.NewLink(netem.LinkConfig{})
 			defer l1.Close()
 			l2 := netem.NewLink(netem.LinkConfig{})

@@ -61,6 +61,36 @@ func (p *PortCounters) String() string {
 		p.RxDropped.Load(), p.TxDropped.Load(), p.RxErrors.Load())
 }
 
+// CacheCounters aggregates the statistics of an exact-match datapath
+// cache (the softswitch microflow cache): how often a packet was
+// served from the cache, how often it had to take the slow pipeline
+// walk, and how much churn the cache saw. All fields are atomic, so
+// the record path stays allocation- and lock-free.
+type CacheCounters struct {
+	Hits          Counter // packet served from a valid cached megaflow
+	Misses        Counter // packet took the full pipeline walk
+	Inserts       Counter // megaflows installed after a walk
+	Invalidations Counter // hits discarded because a revision moved
+	Evictions     Counter // entries displaced by capacity pressure
+}
+
+// HitRate returns the fraction of packets served from the cache, in
+// [0,1]; 0 if nothing was recorded yet.
+func (c *CacheCounters) HitRate() float64 {
+	h, m := c.Hits.Load(), c.Misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// String summarizes the counters.
+func (c *CacheCounters) String() string {
+	return fmt.Sprintf("hits=%d misses=%d (%.1f%%) inserts=%d inval=%d evict=%d",
+		c.Hits.Load(), c.Misses.Load(), c.HitRate()*100,
+		c.Inserts.Load(), c.Invalidations.Load(), c.Evictions.Load())
+}
+
 // histogram bucket layout: 64 log2 buckets of 16 linear sub-buckets
 // each covers the full uint64 nanosecond range with <6.25% relative
 // error, in the spirit of HdrHistogram.
