@@ -151,6 +151,58 @@ func BenchmarkE2_Throughput(b *testing.B) {
 	}
 }
 
+// --- E2: batch-size sweep ---------------------------------------------
+
+// BenchmarkE2_BatchSweep records the throughput trajectory of the
+// batched dataplane API: the same 64-byte many-flow workload pushed
+// through ReceiveBatch in vectors of 1/8/32/256 frames, with the ring
+// egress backend so nothing but the datapath is in the measured loop.
+// batch=1 is the per-frame wrapper baseline the larger vectors are
+// judged against.
+func BenchmarkE2_BatchSweep(b *testing.B) {
+	for _, batch := range []int{1, 8, 32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			sw := softswitch.New("sweep", 0xe2)
+			in := netem.NewLink(netem.LinkConfig{})
+			defer in.Close()
+			sw.AttachNetPort(1, "in", in.A())
+			ring := softswitch.NewRingBackend(4096)
+			sw.AttachPort(2, "out", ring)
+			m := openflow.Match{}
+			m.WithInPort(1)
+			if _, err := sw.ApplyFlowMod(&openflow.FlowMod{
+				TableID: 0, Command: openflow.FlowAdd, Priority: 10,
+				BufferID: openflow.NoBuffer, OutPort: openflow.PortAny, OutGroup: openflow.GroupAny,
+				Match: m, Instructions: []openflow.Instruction{&openflow.InstrApplyActions{
+					Actions: []openflow.Action{&openflow.ActionOutput{Port: 2, MaxLen: 0xffff}},
+				}},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			gen := fabric.NewUDPGenerator(64, 1024, 7)
+			// Warm the microflow cache.
+			for i := 0; i < gen.Len(); i++ {
+				sw.Receive(1, gen.Next())
+			}
+			var vec, sink [][]byte
+			b.SetBytes(64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += batch {
+				if batch == 1 {
+					sw.Receive(1, gen.Next())
+				} else {
+					vec = gen.NextBatch(vec, batch)
+					sw.ReceiveBatch(1, vec)
+				}
+				sink = ring.Ring().Drain(sink[:0], 0)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+		})
+	}
+}
+
 // --- E2 ablation: translator hop alone --------------------------------
 
 func BenchmarkE2_TranslatorOnly(b *testing.B) {

@@ -25,6 +25,7 @@ import (
 	"github.com/harmless-sdn/harmless/internal/controller/apps"
 	"github.com/harmless-sdn/harmless/internal/fabric"
 	"github.com/harmless-sdn/harmless/internal/legacy"
+	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/snmp"
 )
 
@@ -36,6 +37,8 @@ func main() {
 	controllerAddr := flag.String("controller", "", "external OpenFlow controller address (empty = in-process learning switch)")
 	oneshot := flag.Bool("oneshot", false, "run the connectivity demo and exit")
 	statsEvery := flag.Duration("stats", 10*time.Second, "status print interval (0 = off)")
+	asyncLinks := flag.Bool("async-links", false, "queued (async) netem links with vectored rx delivery instead of synchronous in-line calls")
+	rxBatch := flag.Int("rx-batch", 64, "max frames one async link wakeup coalesces into a single batch delivery")
 	flag.Parse()
 
 	dialect := legacy.DialectCiscoish
@@ -46,6 +49,10 @@ func main() {
 	cfg := fabric.DeployConfig{
 		NumPorts: *ports,
 		Dialect:  dialect,
+		LinkConfig: netem.LinkConfig{
+			Async:   *asyncLinks,
+			RxBatch: *rxBatch,
+		},
 	}
 	if *controllerAddr == "" {
 		cfg.Apps = []controller.App{&apps.Learning{Table: 0}}

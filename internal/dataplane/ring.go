@@ -1,0 +1,118 @@
+package dataplane
+
+import (
+	"sync/atomic"
+)
+
+// Ring is a bounded, lock-free, multi-producer multi-consumer frame
+// queue (the classic sequence-numbered ring of Vyukov's bounded MPMC
+// queue). It is the in-memory substitute for a NIC queue: benchmarks
+// and cmd/trafficgen attach it as a softswitch egress backend and
+// drain it from the measurement loop, keeping netem's goroutines and
+// timing model out of the measured path.
+//
+// Push and Pop never block and never allocate; a full ring rejects the
+// push (the caller counts the drop, exactly like a NIC tail-drop).
+type Ring struct {
+	mask  uint64
+	slots []ringSlot
+	_     [64]byte // keep head and tail on separate cache lines
+	head  atomic.Uint64
+	_     [64]byte
+	tail  atomic.Uint64
+}
+
+type ringSlot struct {
+	seq   atomic.Uint64
+	frame []byte
+}
+
+// NewRing creates a ring with capacity rounded up to a power of two,
+// clamped to [2, 1<<30] slots.
+func NewRing(capacity int) *Ring {
+	if capacity > 1<<30 {
+		capacity = 1 << 30
+	}
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring capacity in frames.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns the approximate number of queued frames.
+func (r *Ring) Len() int {
+	n := int(r.head.Load()) - int(r.tail.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Push enqueues one frame, taking ownership. It returns false when the
+// ring is full (the frame is not enqueued and stays the caller's).
+func (r *Ring) Push(frame []byte) bool {
+	pos := r.head.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				slot.frame = frame
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.head.Load()
+		case diff < 0:
+			return false // full
+		default:
+			pos = r.head.Load()
+		}
+	}
+}
+
+// Pop dequeues the oldest frame, transferring ownership to the caller.
+// It returns false when the ring is empty.
+func (r *Ring) Pop() ([]byte, bool) {
+	pos := r.tail.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch diff := int64(seq) - int64(pos+1); {
+		case diff == 0:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				frame := slot.frame
+				slot.frame = nil
+				slot.seq.Store(pos + uint64(len(r.slots)))
+				return frame, true
+			}
+			pos = r.tail.Load()
+		case diff < 0:
+			return nil, false // empty
+		default:
+			pos = r.tail.Load()
+		}
+	}
+}
+
+// Drain pops up to max frames (or everything queued when max <= 0)
+// into the given slice, which is grown as needed and returned — the
+// batch-vector shape ReceiveBatch consumes directly.
+func (r *Ring) Drain(into [][]byte, max int) [][]byte {
+	for max <= 0 || len(into) < max {
+		f, ok := r.Pop()
+		if !ok {
+			break
+		}
+		into = append(into, f)
+	}
+	return into
+}

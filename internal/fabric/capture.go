@@ -78,7 +78,10 @@ func (c *Capture) String() string {
 // Tap interposes a capture point on a netem port's receive path:
 // every frame delivered to the port is recorded at the named point and
 // then handed to the device's existing receiver. Install it AFTER the
-// device has attached to the port.
+// device has attached to the port. Wrapping switches the port to
+// per-frame delivery (netem.Port.WrapReceiver clears the batch
+// receiver), so the tap observes batched traffic frame by frame too —
+// captures trade the batch amortization for completeness.
 func Tap(p *netem.Port, c *Capture, point string) {
 	p.WrapReceiver(func(next netem.Receiver) netem.Receiver {
 		return func(frame []byte) {

@@ -64,6 +64,7 @@ func NewHost(name string, mac pkt.MAC, ip pkt.IPv4, port *netem.Port) *Host {
 	}
 	h.tcp = newTCPLite(h)
 	port.SetReceiver(h.receive)
+	port.SetBatchReceiver(h.receiveBatch)
 	return h
 }
 
@@ -80,6 +81,15 @@ func (h *Host) send(frame []byte) {
 	h.txFrames++
 	h.mu.Unlock()
 	_ = h.port.Send(frame)
+}
+
+// receiveBatch is the host's vectored frame input: the stack itself is
+// per-frame, so a batch is simply unrolled here — what batching buys
+// the host is one port wakeup per vector, not a vectored stack.
+func (h *Host) receiveBatch(frames [][]byte) {
+	for _, f := range frames {
+		h.receive(f)
+	}
 }
 
 // receive is the host's frame input.
@@ -387,3 +397,13 @@ func (h *Host) ServeDNS(records map[string]pkt.IPv4) {
 // the stack — used by experiment harnesses to emulate many clients
 // behind one physical port.
 func (h *Host) SendRaw(frame []byte) { h.send(frame) }
+
+// SendRawBatch transmits a vector of pre-built frames in one port
+// call. Ownership of each frame transfers; the vector is borrowed and
+// reusable after the call (dataplane ownership rules).
+func (h *Host) SendRawBatch(frames [][]byte) {
+	h.mu.Lock()
+	h.txFrames += len(frames)
+	h.mu.Unlock()
+	_ = h.port.SendBatch(frames)
+}

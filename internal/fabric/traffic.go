@@ -146,5 +146,28 @@ func (g *Generator) CopyNext() []byte {
 	return cp
 }
 
+// NextBatch refills into with the next n frames in generation order
+// and returns it, reusing into's capacity — the vector shape
+// Switch.ReceiveBatch and Port.SendBatch consume. The frames are
+// shared like Next's; use CopyBatch for paths that mutate.
+func (g *Generator) NextBatch(into [][]byte, n int) [][]byte {
+	into = into[:0]
+	for i := 0; i < n; i++ {
+		into = append(into, g.Next())
+	}
+	return into
+}
+
+// CopyBatch refills into with private copies of the next n frames —
+// for batch injection into paths that take frame ownership or rewrite
+// headers in place.
+func (g *Generator) CopyBatch(into [][]byte, n int) [][]byte {
+	into = into[:0]
+	for i := 0; i < n; i++ {
+		into = append(into, g.CopyNext())
+	}
+	return into
+}
+
 // Len returns the number of distinct frames.
 func (g *Generator) Len() int { return len(g.frames) }

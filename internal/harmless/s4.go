@@ -11,7 +11,10 @@ import (
 
 // S4 is the assembled HARMLESS-S4 group node: the translator SS_1 and
 // the controller-facing main switch SS_2, joined by one patch port per
-// logical port (Fig. 1).
+// logical port (Fig. 1). Frames cross the patch ports as still-grouped
+// batches dispatched iteratively off the softswitch worklist, so the
+// SS_1 -> SS_2 hop adds no per-frame call depth: trunk rx vectors
+// traverse the whole group node one batch at a time.
 type S4 struct {
 	Plan *Plan
 	SS1  *softswitch.Switch

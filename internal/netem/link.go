@@ -18,6 +18,13 @@ var ErrLinkClosed = errors.New("netem: link closed")
 // fast path).
 type Receiver func(frame []byte)
 
+// BatchReceiver consumes a vector of frames arriving at a port
+// together. Ownership of each frame transfers to the receiver; the
+// containing slice is only borrowed for the duration of the call and
+// may be reused by the deliverer afterwards (the dataplane package
+// documents these rules).
+type BatchReceiver func(frames [][]byte)
+
 // LinkConfig parameterizes a link. The zero value is a synchronous,
 // lossless, zero-latency, infinite-bandwidth link — the configuration
 // used by deterministic tests.
@@ -35,6 +42,11 @@ type LinkConfig struct {
 	// async mode; 0 means a default of 512. Frames arriving at a full
 	// queue are tail-dropped.
 	QueueLen int
+	// RxBatch bounds how many queued frames one async wakeup drains
+	// into a single batch delivery; 0 means a default of 64. Only
+	// untimed async links (no latency, no bandwidth cap) coalesce:
+	// with a timing model each frame keeps its own arrival instant.
+	RxBatch int
 	// Seed seeds the loss process; links with the same seed drop the
 	// same frames.
 	Seed int64
@@ -62,8 +74,9 @@ type Port struct {
 	name     string
 	counters stats.PortCounters
 
-	recvMu   sync.RWMutex
-	receiver Receiver
+	recvMu        sync.RWMutex
+	receiver      Receiver
+	batchReceiver BatchReceiver
 
 	// async state (nil in sync mode)
 	queue chan []byte
@@ -77,6 +90,9 @@ type Port struct {
 func NewLink(cfg LinkConfig) *Link {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 512
+	}
+	if cfg.RxBatch <= 0 {
+		cfg.RxBatch = 64
 	}
 	l := &Link{cfg: cfg, done: make(chan struct{})}
 	if cfg.LossProb > 0 {
@@ -115,13 +131,38 @@ func (l *Link) dropped() bool {
 }
 
 // pump drains the queue of frames sent by p and delivers them to the
-// peer, applying the latency/bandwidth model in real time.
+// peer, applying the latency/bandwidth model in real time. On an
+// untimed link (no latency, no bandwidth cap) every frame is due the
+// moment it is queued, so one wakeup drains the backlog into a vector
+// — up to RxBatch frames — and delivers it as one batch; with a
+// timing model each frame keeps its own arrival instant and is
+// delivered individually.
 func (l *Link) pump(p *Port) {
+	untimed := l.cfg.Latency <= 0 && l.cfg.BandwidthBps <= 0
+	var batch [][]byte
+	if untimed {
+		batch = make([][]byte, 0, l.cfg.RxBatch)
+	}
 	for {
 		select {
 		case <-l.done:
 			return
 		case frame := <-p.queue:
+			if untimed {
+				batch = append(batch[:0], frame)
+			drain:
+				for len(batch) < l.cfg.RxBatch {
+					select {
+					case f := <-p.queue:
+						batch = append(batch, f)
+					default:
+						break drain
+					}
+				}
+				p.peer.deliverBatch(batch)
+				clear(batch)
+				continue
+			}
 			arrival := l.schedule(p, len(frame))
 			if d := time.Until(arrival); d > 0 {
 				select {
@@ -161,18 +202,37 @@ func (p *Port) Name() string { return p.name }
 func (p *Port) Counters() *stats.PortCounters { return &p.counters }
 
 // SetReceiver installs the function invoked for every frame arriving
-// at this port. It may be called again to replace the receiver.
+// at this port. It may be called again to replace the receiver; doing
+// so also clears any batch receiver, so a device swap cannot leave
+// batched deliveries flowing to the previous device (re-install one
+// with SetBatchReceiver afterwards, as AttachNetPort does).
 func (p *Port) SetReceiver(r Receiver) {
 	p.recvMu.Lock()
 	p.receiver = r
+	p.batchReceiver = nil
+	p.recvMu.Unlock()
+}
+
+// SetBatchReceiver installs the function invoked when a frame vector
+// arrives at this port. Ports without one fall back to the per-frame
+// receiver for every frame of a batch, so batch delivery is always
+// safe to use; attaching a per-frame wrapper with WrapReceiver clears
+// it again.
+func (p *Port) SetBatchReceiver(r BatchReceiver) {
+	p.recvMu.Lock()
+	p.batchReceiver = r
 	p.recvMu.Unlock()
 }
 
 // WrapReceiver replaces the current receiver with wrap(current) —
-// used to interpose taps/captures after a device has attached.
+// used to interpose taps/captures after a device has attached. The
+// batch receiver is cleared so every frame — batched or not — flows
+// through the wrapped per-frame chain; a batch short-circuiting past
+// the wrapper would blind the tap.
 func (p *Port) WrapReceiver(wrap func(Receiver) Receiver) {
 	p.recvMu.Lock()
 	p.receiver = wrap(p.receiver)
+	p.batchReceiver = nil
 	p.recvMu.Unlock()
 }
 
@@ -203,6 +263,39 @@ func (p *Port) Send(frame []byte) error {
 	return nil
 }
 
+// SendBatch transmits a vector of frames towards the peer port in one
+// call. Ownership of each frame transfers; the containing slice stays
+// the caller's and may be reused after the call returns. On a
+// synchronous lossless link the whole vector is delivered as one
+// batch; otherwise each frame goes through the per-frame Send path so
+// loss sampling and queue tail-drops stay frame-exact.
+func (p *Port) SendBatch(frames [][]byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	select {
+	case <-p.link.done:
+		return ErrLinkClosed
+	default:
+	}
+	if p.queue == nil && p.link.rng == nil {
+		var bytes uint64
+		for _, f := range frames {
+			bytes += uint64(len(f))
+		}
+		p.counters.TxPackets.Add(uint64(len(frames)))
+		p.counters.TxBytes.Add(bytes)
+		p.peer.deliverBatch(frames)
+		return nil
+	}
+	for _, f := range frames {
+		if err := p.Send(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (p *Port) deliver(frame []byte) {
 	p.counters.RecordRx(len(frame))
 	p.recvMu.RLock()
@@ -213,6 +306,32 @@ func (p *Port) deliver(frame []byte) {
 		return
 	}
 	r(frame)
+}
+
+// deliverBatch hands a frame vector to the attached device: to its
+// batch receiver when one is installed, frame by frame otherwise.
+func (p *Port) deliverBatch(frames [][]byte) {
+	var bytes uint64
+	for _, f := range frames {
+		bytes += uint64(len(f))
+	}
+	p.counters.RxPackets.Add(uint64(len(frames)))
+	p.counters.RxBytes.Add(bytes)
+	p.recvMu.RLock()
+	br := p.batchReceiver
+	r := p.receiver
+	p.recvMu.RUnlock()
+	if br != nil {
+		br(frames)
+		return
+	}
+	if r == nil {
+		p.counters.RxDropped.Add(uint64(len(frames)))
+		return
+	}
+	for _, f := range frames {
+		r(f)
+	}
 }
 
 // String identifies the port.

@@ -1,0 +1,306 @@
+package softswitch
+
+import (
+	"sync"
+
+	"github.com/harmless-sdn/harmless/internal/dataplane"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// Batch dispatch: the amortized entry point of the datapath.
+//
+// ReceiveBatch runs a frame vector through the switch paying the
+// per-packet costs once per batch instead of once per frame:
+//
+//   - keys are extracted for the whole vector in one pass;
+//   - the microflow cache is probed grouped by shard, so each shard
+//     read-lock is taken once per batch (probeBatch);
+//   - only the residue of misses walks the full pipeline;
+//   - egress is coalesced per port (txContext) and every port backend
+//     is flushed once per batch;
+//   - frames crossing a patch port into a peer switch stay grouped and
+//     are dispatched ITERATIVELY off a worklist — a chain of patched
+//     switches (SS_1 -> SS_2 -> ...) runs at constant stack depth
+//     instead of deepening the stack per hop per frame.
+//
+// Receive is the one-frame wrapper over the same machinery, so the
+// two entry points cannot diverge semantically: counters, cache
+// statistics and drop accounting are exactly equal for the same
+// frames sent either way (batch_test.go proves it).
+//
+// Ownership follows the dataplane package rules: each frame of the
+// vector transfers to the switch; the vector itself is borrowed and
+// reusable by the caller as soon as ReceiveBatch returns.
+
+// patchWork is one pending cross-switch delivery: a still-grouped
+// egress batch that crossed a patch port.
+type patchWork struct {
+	sw     *Switch
+	inPort uint32
+	frames [][]byte
+}
+
+// txContext coalesces one batch's egress per port and carries the
+// iterative patch-delivery worklist. ports/frames are parallel;
+// flushed slot buffers are kept (or returned via recycle) so steady
+// state dispatch does not allocate.
+type txContext struct {
+	ports  []*swPort
+	frames [][][]byte
+	spare  [][][]byte // recycled slot buffers
+	work   []patchWork
+}
+
+// add coalesces one frame onto the egress vector of port p.
+func (tx *txContext) add(p *swPort, frame []byte) {
+	for i, q := range tx.ports {
+		if q == p {
+			tx.frames[i] = append(tx.frames[i], frame)
+			return
+		}
+	}
+	i := len(tx.ports)
+	tx.ports = append(tx.ports, p)
+	if i < cap(tx.frames) {
+		tx.frames = tx.frames[:i+1] // revive the slot buffer from a previous flush
+	} else {
+		tx.frames = append(tx.frames, nil)
+	}
+	if tx.frames[i] == nil && len(tx.spare) > 0 {
+		tx.frames[i] = tx.spare[len(tx.spare)-1]
+		tx.spare = tx.spare[:len(tx.spare)-1]
+	}
+	tx.frames[i] = append(tx.frames[i][:0], frame)
+}
+
+// recycle takes back a frame vector whose frames have been consumed.
+func (tx *txContext) recycle(frames [][]byte) {
+	clear(frames)
+	tx.spare = append(tx.spare, frames[:0])
+}
+
+// flushTx pushes every coalesced egress vector to its port backend,
+// once per port per batch. Vectors for a BatchForwarder backend (patch
+// ports and the like) are not delivered here: they go onto the
+// worklist so the dispatch loop hands them to the peer switch
+// iteratively.
+func (s *Switch) flushTx(tx *txContext) {
+	for i, p := range tx.ports {
+		frames := tx.frames[i]
+		var bytes uint64
+		for _, f := range frames {
+			bytes += uint64(len(f))
+		}
+		p.counters.TxPackets.Add(uint64(len(frames)))
+		p.counters.TxBytes.Add(bytes)
+		if fw, ok := p.backend.(BatchForwarder); ok {
+			peer, peerPort := fw.ForwardTarget()
+			tx.work = append(tx.work, patchWork{sw: peer, inPort: peerPort, frames: frames})
+			tx.frames[i] = nil // handed to the worklist; recycled after processing
+		} else {
+			p.backend.TransmitBatch(frames)
+			clear(frames) // drop frame refs, keep the buffer
+			tx.frames[i] = frames[:0]
+		}
+		tx.ports[i] = nil
+	}
+	tx.ports = tx.ports[:0]
+	tx.frames = tx.frames[:0]
+}
+
+// dispatchState is the pooled scratch of one dispatch: the egress
+// context plus the per-batch classification arrays.
+type dispatchState struct {
+	tx    txContext
+	keys  []pkt.Key
+	mfs   []*microflow
+	skip  []bool
+	next  []int32
+	heads [microflowShards]int32
+	one   [1][]byte // single-frame vector for the Receive wrapper
+}
+
+func (st *dispatchState) grow(n int) {
+	if cap(st.keys) < n {
+		st.keys = make([]pkt.Key, n)
+		st.mfs = make([]*microflow, n)
+		st.skip = make([]bool, n)
+		st.next = make([]int32, n)
+	}
+}
+
+var dispatchPool = sync.Pool{New: func() any { return new(dispatchState) }}
+
+// runWork drains the patch worklist: each entry is a still-grouped
+// batch entering a peer switch, which may append further entries —
+// the iterative replacement for per-frame cross-switch recursion.
+func runWork(st *dispatchState) {
+	for i := 0; i < len(st.tx.work); i++ {
+		w := st.tx.work[i]
+		st.tx.work[i] = patchWork{}
+		w.sw.processBatch(w.inPort, w.frames, st, nil)
+		st.tx.recycle(w.frames)
+	}
+	st.tx.work = st.tx.work[:0]
+}
+
+// ReceiveBatch runs a frame vector arriving on inPort through the
+// datapath. It may be called concurrently, like Receive. Ownership of
+// each frame transfers to the switch; the vector itself is borrowed
+// and may be reused once the call returns.
+func (s *Switch) ReceiveBatch(inPort uint32, frames [][]byte) {
+	if len(frames) == 0 {
+		return
+	}
+	st := dispatchPool.Get().(*dispatchState)
+	s.processBatch(inPort, frames, st, nil)
+	runWork(st)
+	dispatchPool.Put(st)
+}
+
+// ReceiveMixedBatch dispatches a dataplane.Batch whose frames may have
+// arrived on DIFFERENT ports (b.Meta[i].InPort), filling each frame's
+// Verdict as the datapath classifies it — the entry point for
+// poll-mode drivers that drain several rx queues into one vector.
+// Consecutive frames sharing an in-port dispatch as one grouped
+// sub-batch, so a port-sorted batch keeps the full amortization.
+// Frame ownership transfers to the switch; the Batch's slices remain
+// the caller's (Reset to refill and reuse). The batch must carry a
+// Meta entry per frame — build it with Batch.Append; a meta-less
+// batch is rejected.
+func (s *Switch) ReceiveMixedBatch(b *dataplane.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	if len(b.Meta) < n {
+		// Malformed batch (Frames poked without Append): the frames'
+		// ownership already transferred, so account them as drops
+		// rather than vanishing them silently.
+		s.drops.Add(uint64(n))
+		return
+	}
+	st := dispatchPool.Get().(*dispatchState)
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && b.Meta[hi].InPort == b.Meta[lo].InPort {
+			hi++
+		}
+		s.processBatch(b.Meta[lo].InPort, b.Frames[lo:hi], st, b.Meta[lo:hi])
+		lo = hi
+	}
+	runWork(st)
+	dispatchPool.Put(st)
+}
+
+// Receive runs one frame through the datapath starting at table 0: the
+// one-frame wrapper over the batch dispatch. It is the entry point for
+// per-frame physical ingress and may be called concurrently.
+func (s *Switch) Receive(inPort uint32, frame []byte) {
+	st := dispatchPool.Get().(*dispatchState)
+	st.one[0] = frame
+	s.processBatch(inPort, st.one[:1], st, nil)
+	runWork(st)
+	st.one[0] = nil
+	dispatchPool.Put(st)
+}
+
+// processBatch classifies and executes one batch on one switch,
+// flushing its egress at the end. Cross-switch patch deliveries are
+// queued on st's worklist rather than executed inline. meta, when
+// non-nil, receives the per-frame verdicts (ReceiveMixedBatch).
+func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState, meta []dataplane.Meta) {
+	if p := s.getPort(inPort); p != nil {
+		var bytes uint64
+		for _, f := range frames {
+			bytes += uint64(len(f))
+		}
+		p.counters.RxPackets.Add(uint64(len(frames)))
+		p.counters.RxBytes.Add(bytes)
+	}
+	n := len(frames)
+	if n == 1 {
+		// One frame: the classic per-frame walk, minus the batch-probe
+		// bookkeeping.
+		v := dataplane.VerdictDropped
+		var key pkt.Key
+		if err := pkt.ExtractKey(frames[0], inPort, &key); err != nil {
+			s.drops.Inc()
+		} else {
+			v = s.classifyAndRun(&key, inPort, frames[0], &st.tx)
+		}
+		if meta != nil {
+			meta[0].Verdict = v
+		}
+		s.flushTx(&st.tx)
+		return
+	}
+
+	st.grow(n)
+	keys, skip, mfs := st.keys[:n], st.skip[:n], st.mfs[:n]
+	bad := 0
+	for i, f := range frames {
+		skip[i] = false
+		if err := pkt.ExtractKey(f, inPort, &keys[i]); err != nil {
+			skip[i] = true
+			bad++
+		}
+	}
+	if bad > 0 {
+		s.drops.Add(uint64(bad))
+	}
+	if c := s.cache; c != nil {
+		c.probeBatch(keys, skip, mfs, &st.heads, st.next[:n])
+	} else {
+		clear(mfs)
+	}
+	for i, f := range frames {
+		v := dataplane.VerdictDropped
+		if !skip[i] {
+			if mf := mfs[i]; mf != nil {
+				mfs[i] = nil
+				s.replayMicroflow(mf, inPort, f, &st.tx)
+				v = dataplane.VerdictCacheHit
+			} else {
+				// Batch probe missed: classifyAndRun re-probes per frame
+				// (the exact miss/invalidation accounting, and an entry
+				// installed by an earlier frame of this very batch can
+				// already hit) before falling back to the pipeline walk.
+				v = s.classifyAndRun(&keys[i], inPort, f, &st.tx)
+			}
+		}
+		if meta != nil {
+			meta[i].Verdict = v
+		}
+	}
+	s.flushTx(&st.tx)
+}
+
+// classifyAndRun is the per-frame decision shared by every entry
+// point: serve from the microflow cache, or walk the pipeline and
+// record a new megaflow. The returned verdict reports which way the
+// frame went.
+func (s *Switch) classifyAndRun(key *pkt.Key, inPort uint32, frame []byte, tx *txContext) dataplane.Verdict {
+	c := s.cache
+	if c == nil {
+		s.runPipelineKeyed(key, inPort, frame, 0, nil, tx)
+		return dataplane.VerdictSlowPath
+	}
+	if mf := c.lookup(key); mf != nil {
+		s.replayMicroflow(mf, inPort, frame, tx)
+		return dataplane.VerdictCacheHit
+	}
+	// Read the group revision before the walk so a group-mod racing
+	// the recording leaves it stale-by-revision, like the table revs.
+	groupRev := s.groups.Version()
+	rec := &microflow{}
+	s.runPipelineKeyed(key, inPort, frame, 0, rec, tx)
+	if !rec.uncacheable {
+		if rec.usesGroups() {
+			rec.groups = s.groups
+			rec.groupRev = groupRev
+		}
+		c.insert(key, rec)
+	}
+	return dataplane.VerdictSlowPath
+}

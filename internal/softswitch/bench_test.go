@@ -11,6 +11,7 @@ package softswitch_test
 // single-flow path must beat the uncached pipeline walk by >= 2x.
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/harmless-sdn/harmless/internal/fabric"
@@ -96,6 +97,36 @@ func BenchmarkSingleFlow(b *testing.B) {
 	} {
 		b.Run(v.name, func(b *testing.B) {
 			drive(b, benchSwitch(b, v.opts...), fabric.NewUDPGenerator(64, 1, 7))
+		})
+	}
+}
+
+// driveBatch pushes generator traffic through the switch in vectors of
+// the given size via ReceiveBatch and reports packets per second —
+// directly comparable to drive's per-frame pps.
+func driveBatch(b *testing.B, sw *softswitch.Switch, gen *fabric.Generator, batch int) {
+	b.Helper()
+	for i := 0; i < gen.Len(); i++ {
+		sw.Receive(1, gen.Next())
+	}
+	var vec [][]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		vec = gen.NextBatch(vec, batch)
+		sw.ReceiveBatch(1, vec)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+}
+
+// BenchmarkReceiveBatch sweeps the batch size on the cached many-flow
+// workload: batch=1 is the per-frame wrapper baseline, larger vectors
+// amortize key extraction, shard locks and egress flushes.
+func BenchmarkReceiveBatch(b *testing.B) {
+	for _, batch := range []int{1, 8, 32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			driveBatch(b, benchSwitch(b), fabric.NewUDPGenerator(64, 1024, 7), batch)
 		})
 	}
 }

@@ -178,6 +178,61 @@ func (c *microflowCache) lookup(k *pkt.Key) *microflow {
 	return mf
 }
 
+// probeBatch looks up every key of a batch in one pass grouped by
+// shard: frames are first chained per shard through heads/next (an
+// intrusive per-shard index list), then each shard's read lock is
+// taken ONCE and all of its keys probed under it — the per-batch
+// amortization of the per-frame lock in lookup. out[i] receives a
+// still-valid megaflow or nil; skip[i] frames are left nil.
+//
+// Only HITS are counted here. Frames left nil fall back to the
+// per-frame lookup on the slow path, which performs the exact
+// miss/invalidation accounting and stale-entry removal — and can
+// legitimately hit an entry that an earlier frame of the same batch
+// just installed, exactly as a sequence of Receive calls would.
+func (c *microflowCache) probeBatch(keys []pkt.Key, skip []bool, out []*microflow, heads *[microflowShards]int32, next []int32) {
+	for i := range heads {
+		heads[i] = -1
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		out[i] = nil
+		if skip[i] {
+			continue
+		}
+		sh := keys[i].Hash() & (microflowShards - 1)
+		next[i] = heads[sh]
+		heads[sh] = int32(i)
+	}
+	for si := range c.shards {
+		i := heads[si]
+		if i < 0 {
+			continue
+		}
+		sh := &c.shards[si]
+		sh.mu.RLock()
+		for ; i >= 0; i = next[i] {
+			out[i] = sh.flows[keys[i]]
+		}
+		sh.mu.RUnlock()
+	}
+	var hits uint64
+	for i := range out {
+		if out[i] == nil {
+			continue
+		}
+		if out[i].valid() {
+			hits++
+		} else {
+			// Leave removal and the invalidation/miss accounting to the
+			// slow path's per-frame lookup.
+			out[i] = nil
+		}
+	}
+	if hits > 0 {
+		c.stats.Hits.Add(hits)
+	}
+}
+
 // insert installs a recorded megaflow, evicting an arbitrary entry of
 // the same shard when the shard is at capacity (map iteration order
 // gives a cheap pseudo-random victim, which is how the OVS microflow

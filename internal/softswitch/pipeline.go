@@ -8,50 +8,19 @@ import (
 	"github.com/harmless-sdn/harmless/internal/pkt"
 )
 
-// Receive runs one frame through the datapath starting at table 0. It
-// is the entry point for both physical ingress and patch-port ingress,
-// and may be called concurrently. With the microflow cache enabled
-// (the default) the frame's header key is first probed against the
-// cache; a valid hit replays the pre-resolved megaflow program, a miss
-// takes the full pipeline walk and records a new megaflow.
-func (s *Switch) Receive(inPort uint32, frame []byte) {
-	if p := s.getPort(inPort); p != nil {
-		p.counters.RecordRx(len(frame))
-	}
-	var key pkt.Key
-	if err := pkt.ExtractKey(frame, inPort, &key); err != nil {
-		s.drops.Inc()
-		return
-	}
-	c := s.cache
-	if c == nil {
-		s.runPipelineKeyed(&key, inPort, frame, 0, nil)
-		return
-	}
-	if mf := c.lookup(&key); mf != nil {
-		s.replayMicroflow(mf, inPort, frame)
-		return
-	}
-	// Read the group revision before the walk so a group-mod racing
-	// the recording leaves it stale-by-revision, like the table revs.
-	groupRev := s.groups.Version()
-	rec := &microflow{}
-	s.runPipelineKeyed(&key, inPort, frame, 0, rec)
-	if !rec.uncacheable {
-		if rec.usesGroups() {
-			rec.groups = s.groups
-			rec.groupRev = groupRev
-		}
-		c.insert(&key, rec)
-	}
-}
+// The per-frame entry point Receive and the vector entry point
+// ReceiveBatch live in batch.go; both funnel into the walk below with
+// a txContext that coalesces egress per port. With the microflow cache
+// enabled (the default) a frame's header key is first probed against
+// the cache; a valid hit replays the pre-resolved megaflow program, a
+// miss takes the full pipeline walk and records a new megaflow.
 
 // replayMicroflow executes a cached megaflow's operation program.
 // Credits, meters, groups, TTL checks and packet-ins are re-executed
 // per packet in recorded order, so their per-packet semantics — which
 // tables get credited before a meter drop, with which frame size —
 // are identical to the pipeline walk that was recorded.
-func (s *Switch) replayMicroflow(mf *microflow, inPort uint32, frame []byte) {
+func (s *Switch) replayMicroflow(mf *microflow, inPort uint32, frame []byte, tx *txContext) {
 	for i := range mf.ops {
 		op := &mf.ops[i]
 		switch op.kind {
@@ -66,7 +35,7 @@ func (s *Switch) replayMicroflow(mf *microflow, inPort uint32, frame []byte) {
 			continue
 		}
 		var res applyResult
-		frame, res = s.applyActions(op.acts, inPort, frame, op.tableID, op.entry)
+		frame, res = s.applyActions(op.acts, inPort, frame, op.tableID, op.entry, tx)
 		if res != applyRetained {
 			return // frame consumed (output, group) or dropped
 		}
@@ -80,13 +49,13 @@ func (s *Switch) replayMicroflow(mf *microflow, inPort uint32, frame []byte) {
 // runPipeline extracts the frame's key and executes tables from
 // startTable onwards (the uncached path; packet-out and OUTPUT:TABLE
 // restarts come through here).
-func (s *Switch) runPipeline(inPort uint32, frame []byte, startTable uint8) {
+func (s *Switch) runPipeline(inPort uint32, frame []byte, startTable uint8, tx *txContext) {
 	var key pkt.Key
 	if err := pkt.ExtractKey(frame, inPort, &key); err != nil {
 		s.drops.Inc()
 		return
 	}
-	s.runPipelineKeyed(&key, inPort, frame, startTable, nil)
+	s.runPipelineKeyed(&key, inPort, frame, startTable, nil, tx)
 }
 
 // runPipelineKeyed executes tables from startTable onwards for an
@@ -96,7 +65,7 @@ func (s *Switch) runPipeline(inPort uint32, frame []byte, startTable uint8) {
 // revision is read *before* the lookup: a flow-mod racing the walk
 // then leaves the recording stale-by-revision rather than wrongly
 // valid.
-func (s *Switch) runPipelineKeyed(key *pkt.Key, inPort uint32, frame []byte, startTable uint8, rec *microflow) {
+func (s *Switch) runPipelineKeyed(key *pkt.Key, inPort uint32, frame []byte, startTable uint8, rec *microflow, tx *txContext) {
 	var actionSet []openflow.Action
 	tableID := startTable
 	for {
@@ -140,7 +109,7 @@ func (s *Switch) runPipelineKeyed(key *pkt.Key, inPort uint32, frame []byte, sta
 					rec.ops = append(rec.ops, microOp{kind: opApply, acts: in.Actions, tableID: tableID, entry: entry})
 				}
 				var res applyResult
-				frame, res = s.applyActions(in.Actions, inPort, frame, tableID, entry)
+				frame, res = s.applyActions(in.Actions, inPort, frame, tableID, entry, tx)
 				if res != applyRetained {
 					// A per-packet drop truncates the observed program;
 					// consumption by output/group is structural and the
@@ -174,7 +143,7 @@ func (s *Switch) runPipelineKeyed(key *pkt.Key, inPort uint32, frame []byte, sta
 	if rec != nil {
 		rec.ops = append(rec.ops, microOp{kind: opApply, acts: ordered, tableID: tableID})
 	}
-	if frame, res := s.applyActions(ordered, inPort, frame, tableID, nil); res == applyRetained && frame != nil {
+	if frame, res := s.applyActions(ordered, inPort, frame, tableID, nil, tx); res == applyRetained && frame != nil {
 		// Action set without output: drop (already accounted inside
 		// applyActions when it falls through).
 		s.drops.Inc()
@@ -285,7 +254,7 @@ const (
 // (possibly reallocated) frame and applyRetained if the caller keeps
 // ownership; otherwise the frame was consumed or dropped. entry may be
 // nil (action-set execution).
-func (s *Switch) applyActions(actions []openflow.Action, inPort uint32, frame []byte, tableID uint8, entry *flowtable.Entry) ([]byte, applyResult) {
+func (s *Switch) applyActions(actions []openflow.Action, inPort uint32, frame []byte, tableID uint8, entry *flowtable.Entry, tx *txContext) ([]byte, applyResult) {
 	for i, a := range actions {
 		switch act := a.(type) {
 		case *openflow.ActionPushVLAN:
@@ -314,11 +283,11 @@ func (s *Switch) applyActions(actions []openflow.Action, inPort uint32, frame []
 				return nil, applyDropped
 			}
 		case *openflow.ActionGroup:
-			s.applyGroup(act.GroupID, inPort, frame, tableID)
+			s.applyGroup(act.GroupID, inPort, frame, tableID, tx)
 			return nil, applyConsumed // group consumes the frame
 		case *openflow.ActionOutput:
 			last := i == len(actions)-1
-			s.output(act, inPort, frame, tableID, entry, last)
+			s.output(act, inPort, frame, tableID, entry, last, tx)
 			if last {
 				return nil, applyConsumed
 			}
@@ -366,7 +335,7 @@ func (s *Switch) applySetField(act *openflow.ActionSetField, frame []byte) error
 }
 
 // applyGroup executes a group on the frame (consuming it).
-func (s *Switch) applyGroup(groupID, inPort uint32, frame []byte, tableID uint8) {
+func (s *Switch) applyGroup(groupID, inPort uint32, frame []byte, tableID uint8, tx *txContext) {
 	g, ok := s.groups.Get(groupID)
 	if !ok {
 		s.drops.Inc()
@@ -379,7 +348,7 @@ func (s *Switch) applyGroup(groupID, inPort uint32, frame []byte, tableID uint8)
 		for i := range g.Buckets {
 			cp := make([]byte, len(frame))
 			copy(cp, frame)
-			if f, res := s.applyActions(g.Buckets[i].Actions, inPort, cp, tableID, nil); res == applyRetained && f != nil {
+			if f, res := s.applyActions(g.Buckets[i].Actions, inPort, cp, tableID, nil, tx); res == applyRetained && f != nil {
 				s.drops.Inc()
 			}
 		}
@@ -394,7 +363,7 @@ func (s *Switch) applyGroup(groupID, inPort uint32, frame []byte, tableID uint8)
 			s.drops.Inc()
 			return
 		}
-		if f, res := s.applyActions(b.Actions, inPort, frame, tableID, nil); res == applyRetained && f != nil {
+		if f, res := s.applyActions(b.Actions, inPort, frame, tableID, nil, tx); res == applyRetained && f != nil {
 			s.drops.Inc()
 		}
 	}
@@ -402,26 +371,26 @@ func (s *Switch) applyGroup(groupID, inPort uint32, frame []byte, tableID uint8)
 
 // output realizes the OUTPUT action, including reserved ports. last
 // indicates the frame can be transferred without copying.
-func (s *Switch) output(act *openflow.ActionOutput, inPort uint32, frame []byte, tableID uint8, entry *flowtable.Entry, last bool) {
+func (s *Switch) output(act *openflow.ActionOutput, inPort uint32, frame []byte, tableID uint8, entry *flowtable.Entry, last bool, tx *txContext) {
 	switch act.Port {
 	case openflow.PortController:
 		s.sendPacketIn(inPort, frame, act.MaxLen, tableID, entry)
 	case openflow.PortFlood, openflow.PortAll:
-		s.flood(inPort, frame)
+		s.flood(inPort, frame, tx)
 	case openflow.PortInPort:
 		if p := s.getPort(inPort); p != nil {
-			s.transmit(p, ownedCopy(frame, last))
+			s.transmit(p, ownedCopy(frame, last), tx)
 		}
 	case openflow.PortTable:
 		// Restart the pipeline (packet-out only).
-		s.runPipeline(inPort, ownedCopy(frame, last), 0)
+		s.runPipeline(inPort, ownedCopy(frame, last), 0, tx)
 	default:
 		p := s.getPort(act.Port)
 		if p == nil {
 			s.drops.Inc()
 			return
 		}
-		s.transmit(p, ownedCopy(frame, last))
+		s.transmit(p, ownedCopy(frame, last), tx)
 	}
 }
 
@@ -437,7 +406,7 @@ func ownedCopy(frame []byte, canTransfer bool) []byte {
 }
 
 // flood replicates the frame to every port except the ingress.
-func (s *Switch) flood(inPort uint32, frame []byte) {
+func (s *Switch) flood(inPort uint32, frame []byte, tx *txContext) {
 	s.portMu.RLock()
 	targets := make([]*swPort, 0, len(s.ports))
 	for no, p := range s.ports {
@@ -447,7 +416,7 @@ func (s *Switch) flood(inPort uint32, frame []byte) {
 	}
 	s.portMu.RUnlock()
 	for i, p := range targets {
-		s.transmit(p, ownedCopy(frame, i == len(targets)-1))
+		s.transmit(p, ownedCopy(frame, i == len(targets)-1), tx)
 	}
 }
 
@@ -492,7 +461,9 @@ func (s *Switch) sendPacketIn(inPort uint32, frame []byte, maxLen uint16, tableI
 }
 
 // InjectPacketOut realizes a controller PACKET_OUT: resolve the buffer
-// (if referenced) and run the actions.
+// (if referenced) and run the actions through a full dispatch, so its
+// outputs coalesce and patch deliveries stay iterative like any other
+// ingress.
 func (s *Switch) InjectPacketOut(po *openflow.PacketOut) {
 	frame := po.Data
 	if po.BufferID != openflow.NoBuffer {
@@ -503,7 +474,11 @@ func (s *Switch) InjectPacketOut(po *openflow.PacketOut) {
 	if len(frame) == 0 {
 		return
 	}
-	if f, res := s.applyActions(po.Actions, po.InPort, frame, 0, nil); res == applyRetained && f != nil {
+	st := dispatchPool.Get().(*dispatchState)
+	if f, res := s.applyActions(po.Actions, po.InPort, frame, 0, nil, &st.tx); res == applyRetained && f != nil {
 		s.drops.Inc() // no output action: drop
 	}
+	s.flushTx(&st.tx)
+	runWork(st)
+	dispatchPool.Put(st)
 }

@@ -2,10 +2,14 @@
 // HARMLESS instantiates twice per migrated device: once as the
 // translator (SS_1) and once as the controller-facing main switch
 // (SS_2). It executes the flow-table semantics of internal/flowtable
-// over frames arriving on netem ports or zero-copy patch ports, and
-// exposes the switch side of the OpenFlow channel (Agent).
+// over frames arriving on netem ports, zero-copy patch ports, or any
+// other PortBackend, and exposes the switch side of the OpenFlow
+// channel (Agent).
 //
-// The datapath layers three lookup modes, fastest first:
+// The hot-path entry point is ReceiveBatch (batch.go), which amortizes
+// key extraction, cache shard locks and egress flushes over a frame
+// vector; Receive is its one-frame wrapper. The datapath layers three
+// lookup modes, fastest first:
 //
 //  1. a microflow cache (cache.go) — an OVS-style sharded exact-match
 //     map from the packet's header key to a pre-resolved megaflow,
@@ -36,22 +40,12 @@ import (
 // DefaultNumTables is the pipeline depth advertised to controllers.
 const DefaultNumTables = 4
 
-// portKind distinguishes physical (netem) from patch ports.
-type portKind int
-
-const (
-	kindNet portKind = iota
-	kindPatch
-)
-
-// swPort is one datapath port.
+// swPort is one datapath port: a number, counters, and the pluggable
+// backend frames egress through.
 type swPort struct {
 	no       uint32
 	name     string
-	kind     portKind
-	netPort  *netem.Port // kindNet
-	peerSw   *Switch     // kindPatch
-	peerPort uint32
+	backend  PortBackend
 	counters stats.PortCounters
 	hwAddr   pkt.MAC
 }
@@ -199,31 +193,33 @@ func (s *Switch) CacheLen() int {
 	return s.cache.Len()
 }
 
-// AttachNetPort binds a netem port as datapath port no.
-func (s *Switch) AttachNetPort(no uint32, name string, p *netem.Port) {
-	sp := &swPort{no: no, name: name, kind: kindNet, netPort: p, hwAddr: portMAC(s.dpid, no)}
+// AttachPort binds an arbitrary PortBackend as datapath port no. The
+// backend is egress only; ingress is the caller's affair (call Receive
+// or ReceiveBatch with this port number).
+func (s *Switch) AttachPort(no uint32, name string, be PortBackend) {
+	sp := &swPort{no: no, name: name, backend: be, hwAddr: portMAC(s.dpid, no)}
 	s.portMu.Lock()
 	s.ports[no] = sp
 	s.portMu.Unlock()
-	p.SetReceiver(func(frame []byte) { s.Receive(no, frame) })
 	s.notifyPortStatus(openflow.PortReasonAdd, sp)
+}
+
+// AttachNetPort binds a netem port as datapath port no, wiring both
+// the per-frame and the batched receive path into the datapath.
+func (s *Switch) AttachNetPort(no uint32, name string, p *netem.Port) {
+	s.AttachPort(no, name, netBackend{port: p})
+	p.SetReceiver(func(frame []byte) { s.Receive(no, frame) })
+	p.SetBatchReceiver(func(frames [][]byte) { s.ReceiveBatch(no, frames) })
 }
 
 // ConnectPatch wires aPort on a to bPort on b with a zero-copy patch
 // link (the HARMLESS-S4 internal wiring between SS_1 and SS_2).
+// Frames crossing a patch port stay grouped: the dispatch loop hands
+// the peer the whole per-port batch iteratively rather than recursing
+// into it per frame.
 func ConnectPatch(a *Switch, aPort uint32, b *Switch, bPort uint32) {
-	pa := &swPort{no: aPort, name: fmt.Sprintf("patch-%s%d", b.name, bPort), kind: kindPatch,
-		peerSw: b, peerPort: bPort, hwAddr: portMAC(a.dpid, aPort)}
-	pb := &swPort{no: bPort, name: fmt.Sprintf("patch-%s%d", a.name, aPort), kind: kindPatch,
-		peerSw: a, peerPort: aPort, hwAddr: portMAC(b.dpid, bPort)}
-	a.portMu.Lock()
-	a.ports[aPort] = pa
-	a.portMu.Unlock()
-	b.portMu.Lock()
-	b.ports[bPort] = pb
-	b.portMu.Unlock()
-	a.notifyPortStatus(openflow.PortReasonAdd, pa)
-	b.notifyPortStatus(openflow.PortReasonAdd, pb)
+	a.AttachPort(aPort, fmt.Sprintf("patch-%s%d", b.name, bPort), &patchBackend{peer: b, peerPort: bPort})
+	b.AttachPort(bPort, fmt.Sprintf("patch-%s%d", a.name, aPort), &patchBackend{peer: a, peerPort: aPort})
 }
 
 // portMAC derives a stable per-port MAC from the dpid.
@@ -273,15 +269,12 @@ func (s *Switch) PortDescs() []openflow.PortDesc {
 	return out
 }
 
-// transmit sends a frame out a datapath port.
-func (s *Switch) transmit(p *swPort, frame []byte) {
-	p.counters.RecordTx(len(frame))
-	switch p.kind {
-	case kindNet:
-		_ = p.netPort.Send(frame)
-	case kindPatch:
-		p.peerSw.Receive(p.peerPort, frame)
-	}
+// transmit sends a frame out a datapath port by coalescing it into the
+// dispatch's per-port egress vector; the port's backend sees it at the
+// batch's flush. Every datapath entry point runs inside a dispatch, so
+// tx is always live here.
+func (s *Switch) transmit(p *swPort, frame []byte, tx *txContext) {
+	tx.add(p, frame)
 }
 
 // ApplyFlowMod applies a flow-mod locally (management path and OF
