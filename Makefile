@@ -1,0 +1,49 @@
+# Local mirror of .github/workflows/ci.yml: `make ci` runs the same
+# lint + test + bench-smoke gates the workflow does, so a green local
+# run means a green pipeline.
+
+GO ?= go
+
+# Keep in sync with the bench-smoke job in .github/workflows/ci.yml.
+BENCH_PATTERN := BenchmarkSingleFlow|BenchmarkReceiveBatch|BenchmarkManyFlows|BenchmarkWorkerScaling|BenchmarkDispatch
+BENCH_PKGS    := ./internal/softswitch ./internal/softswitch/runtime
+
+SHELL := /bin/bash -o pipefail
+
+.PHONY: all lint test bench bench-baseline ci
+
+all: ci
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race -short ./...
+
+# The smoke run: every key datapath bench must complete (-benchtime 1x,
+# -count 2), then benchdiff -check fails on panics / FAILs /
+# 0-iteration rows and prints the delta vs the committed baseline.
+# The whole-repo sweep then proves every other bench still runs too.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count 2 $(BENCH_PKGS) 2>&1 | tee bench.txt
+	$(GO) run ./cmd/benchdiff -bench bench.txt -baseline BENCH_BASELINE.json -check
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... 2>&1 | tee bench-full.txt
+	$(GO) run ./cmd/benchdiff -bench bench-full.txt -check > /dev/null
+
+# Refresh BENCH_BASELINE.json on the current machine (commit the
+# result deliberately). Same -benchtime 1x regime as the smoke run so
+# deltas compare like with like; more -count samples for stability.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count 5 $(BENCH_PKGS) 2>&1 | tee bench.txt
+	$(GO) run ./cmd/benchdiff -bench bench.txt -write BENCH_BASELINE.json \
+		-note "make bench-baseline snapshot (-benchtime 1x -count 5); deltas vs different hardware are informational"
+
+ci: lint test bench

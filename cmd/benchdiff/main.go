@@ -1,0 +1,310 @@
+// Command benchdiff turns `go test -bench` output into a regression
+// tripwire. It parses benchmark result lines, optionally snapshots
+// them as a JSON baseline, and renders a markdown delta table against
+// a committed baseline — the bench-smoke CI job pipes its output here
+// and pastes the table into the job summary.
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | tee bench.txt
+//	benchdiff -bench bench.txt -write BENCH_BASELINE.json   # snapshot
+//	benchdiff -bench bench.txt -baseline BENCH_BASELINE.json -check
+//
+// -check makes benchdiff exit non-zero on the failure modes a smoke
+// run must catch regardless of hardware: panics, FAILed packages,
+// benchmarks that report zero iterations, or no benchmarks at all.
+// Deltas themselves are informational by default (CI runners differ
+// from the machine that wrote the baseline); -fail-over makes a
+// slowdown beyond the threshold fatal too, for runs where baseline
+// and current share hardware.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed metrics, averaged over -count runs.
+type Result struct {
+	Iterations uint64             `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit -> value
+	runs       int
+}
+
+// Baseline is the committed snapshot format.
+type Baseline struct {
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]*Result `json:"benchmarks"`
+}
+
+// lowerIsBetter reports whether a metric improves downwards.
+func lowerIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/op")
+}
+
+// parseBench parses `go test -bench` output. It returns the results
+// plus the hard failure markers -check cares about.
+func parseBench(r io.Reader) (results map[string]*Result, panics, fails []string, err error) {
+	results = make(map[string]*Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "panic:") {
+			panics = append(panics, trimmed)
+			continue
+		}
+		if strings.HasPrefix(trimmed, "--- FAIL") || strings.HasPrefix(trimmed, "FAIL") {
+			fails = append(fails, trimmed)
+			continue
+		}
+		if !strings.HasPrefix(trimmed, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		// Name iterations {value unit}...
+		if len(fields) < 2 {
+			continue
+		}
+		name := normalizeName(fields[0])
+		iters, perr := strconv.ParseUint(fields[1], 10, 64)
+		if perr != nil {
+			continue // a Benchmark* line that is not a result row
+		}
+		res := results[name]
+		if res == nil {
+			res = &Result{Metrics: make(map[string]float64)}
+			results[name] = res
+		}
+		res.runs++
+		res.Iterations += iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, verr := strconv.ParseFloat(fields[i], 64)
+			if verr != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] += v
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, nil, nil, serr
+	}
+	// Average over the -count runs.
+	for _, res := range results {
+		if res.runs > 1 {
+			res.Iterations /= uint64(res.runs)
+			for k := range res.Metrics {
+				res.Metrics[k] /= float64(res.runs)
+			}
+		}
+	}
+	return results, panics, fails, nil
+}
+
+// normalizeName strips the -GOMAXPROCS suffix so results compare
+// across differently sized runners.
+func normalizeName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// delta returns the relative change current vs base, signed so that
+// POSITIVE means regression for the given unit.
+func delta(unit string, base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	d := (cur - base) / base
+	if !lowerIsBetter(unit) {
+		d = -d
+	}
+	return d
+}
+
+func main() {
+	benchPath := flag.String("bench", "-", "bench output file ('-' = stdin)")
+	baselinePath := flag.String("baseline", "", "baseline JSON to diff against")
+	writePath := flag.String("write", "", "write the parsed results as a new baseline JSON to this path and exit")
+	note := flag.String("note", "", "note stored in a written baseline")
+	threshold := flag.Float64("threshold", 0.30, "relative slowdown that flags a benchmark in the table")
+	check := flag.Bool("check", false, "exit non-zero on panics, FAILs, zero-iteration results, or an empty bench run")
+	failOver := flag.Bool("fail-over", false, "with -baseline: also exit non-zero when any flagged metric regresses past the threshold")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, panics, fails, err := parseBench(in)
+	if err != nil {
+		fatal("parse: %v", err)
+	}
+
+	bad := 0
+	if *check {
+		for _, p := range panics {
+			fmt.Printf("CHECK FAIL: %s\n", p)
+			bad++
+		}
+		for _, f := range fails {
+			fmt.Printf("CHECK FAIL: %s\n", f)
+			bad++
+		}
+		for name, res := range results {
+			if res.Iterations == 0 {
+				fmt.Printf("CHECK FAIL: %s reported 0 iterations\n", name)
+				bad++
+			}
+		}
+		if len(results) == 0 {
+			fmt.Println("CHECK FAIL: no benchmark results parsed")
+			bad++
+		}
+	}
+
+	if *writePath != "" {
+		b := Baseline{Note: *note, Benchmarks: results}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fatal("marshal: %v", err)
+		}
+		if err := os.WriteFile(*writePath, append(data, '\n'), 0o644); err != nil {
+			fatal("write: %v", err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(results), *writePath)
+	}
+
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fatal("baseline: %v", err)
+		}
+		var base Baseline
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal("baseline: %v", err)
+		}
+		regressed := printDelta(&base, results, *threshold)
+		if *failOver && regressed > 0 {
+			fmt.Printf("benchdiff: %d metric(s) regressed past %.0f%%\n", regressed, *threshold*100)
+			bad += regressed
+		}
+	} else if *writePath == "" {
+		printTable(results)
+	}
+
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// printDelta renders the markdown comparison table and returns how
+// many metrics regressed past the threshold.
+func printDelta(base *Baseline, cur map[string]*Result, threshold float64) int {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("| benchmark | metric | baseline | current | delta |")
+	fmt.Println("|---|---|---:|---:|---:|")
+	regressed := 0
+	for _, name := range names {
+		res := cur[name]
+		bres := base.Benchmarks[name]
+		units := make([]string, 0, len(res.Metrics))
+		for u := range res.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			v := res.Metrics[u]
+			if u != "ns/op" && u != "pps" {
+				continue // keep the table to the headline metrics
+			}
+			if bres == nil {
+				fmt.Printf("| %s | %s | — | %s | new |\n", name, u, fmtVal(v))
+				continue
+			}
+			bv, ok := bres.Metrics[u]
+			if !ok {
+				fmt.Printf("| %s | %s | — | %s | new |\n", name, u, fmtVal(v))
+				continue
+			}
+			d := delta(u, bv, v)
+			marker := ""
+			if d >= threshold {
+				marker = " ⚠️"
+				regressed++
+			} else if d <= -threshold {
+				marker = " 🚀"
+			}
+			fmt.Printf("| %s | %s | %s | %s | %+.1f%%%s |\n", name, u, fmtVal(bv), fmtVal(v), d*100, marker)
+		}
+	}
+	for name := range base.Benchmarks {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("| %s | | | | missing from this run |\n", name)
+		}
+	}
+	return regressed
+}
+
+// printTable renders the parsed results alone (no baseline).
+func printTable(results map[string]*Result) {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("| benchmark | metric | value |")
+	fmt.Println("|---|---|---:|")
+	for _, name := range names {
+		units := make([]string, 0, len(results[name].Metrics))
+		for u := range results[name].Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			if u != "ns/op" && u != "pps" {
+				continue
+			}
+			fmt.Printf("| %s | %s | %s |\n", name, u, fmtVal(results[name].Metrics[u]))
+		}
+	}
+}
+
+// fmtVal renders a metric value compactly.
+func fmtVal(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/harmless-sdn/harmless/internal/softswitch
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSingleFlow/cached-8         	 3000000	       321 ns/op	   3115264 pps	       0 B/op	       0 allocs/op
+BenchmarkSingleFlow/cached-8         	 3200000	       299 ns/op	   3344481 pps	       0 B/op	       0 allocs/op
+BenchmarkWorkerScaling/workers=4-8   	 1000000	      1042 ns/op	    959692 pps	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/harmless-sdn/harmless/internal/softswitch	2.718s
+`
+
+func TestParseBench(t *testing.T) {
+	results, panics, fails, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panics) != 0 || len(fails) != 0 {
+		t.Fatalf("clean output flagged: panics=%v fails=%v", panics, fails)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(results))
+	}
+	// The GOMAXPROCS suffix is stripped and -count runs averaged.
+	sf := results["BenchmarkSingleFlow/cached"]
+	if sf == nil {
+		t.Fatal("BenchmarkSingleFlow/cached not found (name not normalized?)")
+	}
+	if sf.Iterations != 3100000 {
+		t.Errorf("iterations = %d, want the 3.1M average", sf.Iterations)
+	}
+	if got := sf.Metrics["ns/op"]; got != 310 {
+		t.Errorf("ns/op = %v, want 310 (average of 321 and 299)", got)
+	}
+	ws := results["BenchmarkWorkerScaling/workers=4"]
+	if ws == nil || ws.Metrics["pps"] != 959692 {
+		t.Errorf("worker scaling row = %+v", ws)
+	}
+}
+
+func TestParseBenchFailureMarkers(t *testing.T) {
+	out := `BenchmarkBroken-8   	       0	       0 ns/op
+panic: runtime error: index out of range
+--- FAIL: TestSomething
+FAIL	github.com/harmless-sdn/harmless/internal/netem	0.1s
+`
+	results, panics, fails, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panics) != 1 {
+		t.Errorf("panics = %v", panics)
+	}
+	if len(fails) != 2 {
+		t.Errorf("fails = %v", fails)
+	}
+	if results["BenchmarkBroken"].Iterations != 0 {
+		t.Errorf("zero-iteration run not preserved: %+v", results["BenchmarkBroken"])
+	}
+}
+
+func TestDeltaDirection(t *testing.T) {
+	// ns/op: up is a regression.
+	if d := delta("ns/op", 100, 150); d != 0.5 {
+		t.Errorf("ns/op delta = %v, want +0.5", d)
+	}
+	// pps: down is a regression.
+	if d := delta("pps", 1000, 500); d != 0.5 {
+		t.Errorf("pps delta = %v, want +0.5", d)
+	}
+	if d := delta("pps", 1000, 2000); d != -1.0 {
+		t.Errorf("pps improvement delta = %v, want -1.0", d)
+	}
+	if d := delta("ns/op", 0, 100); d != 0 {
+		t.Errorf("zero baseline delta = %v, want 0", d)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkSingleFlow/cached-8":       "BenchmarkSingleFlow/cached",
+		"BenchmarkWorkerScaling/workers=4-8": "BenchmarkWorkerScaling/workers=4",
+		"BenchmarkPlain":                     "BenchmarkPlain",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

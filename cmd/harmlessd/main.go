@@ -24,9 +24,11 @@ import (
 	"github.com/harmless-sdn/harmless/internal/controller"
 	"github.com/harmless-sdn/harmless/internal/controller/apps"
 	"github.com/harmless-sdn/harmless/internal/fabric"
+	"github.com/harmless-sdn/harmless/internal/harmless"
 	"github.com/harmless-sdn/harmless/internal/legacy"
 	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/snmp"
+	ssruntime "github.com/harmless-sdn/harmless/internal/softswitch/runtime"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 	statsEvery := flag.Duration("stats", 10*time.Second, "status print interval (0 = off)")
 	asyncLinks := flag.Bool("async-links", false, "queued (async) netem links with vectored rx delivery instead of synchronous in-line calls")
 	rxBatch := flag.Int("rx-batch", 64, "max frames one async link wakeup coalesces into a single batch delivery")
+	workers := flag.Int("workers", 0, "poll-mode workers draining SS_1's trunk ingress with RSS flow sharding (0 = deliver inline on the caller thread)")
 	flag.Parse()
 
 	dialect := legacy.DialectCiscoish
@@ -103,6 +106,21 @@ func main() {
 	fmt.Printf("harmlessd: migrated %q: trunk=%d ports=%v vlans=%v\n",
 		plan.Hostname, plan.TrunkPort, plan.MigratedPorts(), plan.TrunkVLANs())
 
+	// Poll-mode workers: interpose the RSS-sharded worker pool between
+	// the trunk link and SS_1, so trunk rx is dispatched by flow hash
+	// to N run-to-completion workers instead of running inline on the
+	// link's delivery goroutine.
+	var pool *ssruntime.Pool
+	if *workers > 0 {
+		pool = ssruntime.New(d.S4.SS1, ssruntime.Config{Workers: *workers})
+		pool.Start()
+		defer pool.Stop()
+		trunk := d.TrunkLink.B()
+		trunk.SetReceiver(func(frame []byte) { pool.Dispatch(harmless.SS1TrunkPort, frame) })
+		trunk.SetBatchReceiver(func(frames [][]byte) { pool.DispatchBatch(harmless.SS1TrunkPort, frames) })
+		fmt.Printf("harmlessd: %d poll-mode workers on SS_1 trunk ingress\n", pool.Workers())
+	}
+
 	if *oneshot {
 		runDemo(d)
 		return
@@ -123,7 +141,25 @@ func main() {
 			return
 		case <-tick:
 			printStatus(d)
+			printWorkers(pool)
 		}
+	}
+}
+
+// printWorkers renders the pool aggregate plus the per-worker shards,
+// so skew across workers (bad sharding, elephant flows) is visible.
+func printWorkers(pool *ssruntime.Pool) {
+	if pool == nil {
+		return
+	}
+	st := pool.Stats()
+	fmt.Printf("status: workers=%d frames=%d bytes=%d batches=%d hits=%d slow=%d drop=%d rxdrop=%d\n",
+		pool.Workers(), st.Frames, st.Bytes, st.Batches,
+		st.CacheHits, st.SlowPath, st.Dropped, st.RxDrops)
+	for i := 0; i < pool.Workers(); i++ {
+		ws := pool.WorkerStats(i)
+		fmt.Printf("status:   worker %d: frames=%d batches=%d hits=%d slow=%d\n",
+			i, ws.Frames, ws.Batches, ws.CacheHits, ws.SlowPath)
 	}
 }
 

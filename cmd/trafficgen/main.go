@@ -6,8 +6,11 @@
 //
 // -batch N drives the switch through the batched dataplane API
 // (ReceiveBatch with N-frame vectors, ring egress backend on the bare
-// path) instead of frame-by-frame netem injection; -cpuprofile writes
-// a pprof profile of the measurement loops.
+// path) instead of frame-by-frame netem injection; -workers N runs the
+// poll-mode worker runtime — N producers feeding N RSS-sharded workers
+// on the bare path, and the pool interposed on SS_1's trunk ingress in
+// the chain; -cpuprofile writes a pprof profile of the measurement
+// loops.
 package main
 
 import (
@@ -15,21 +18,26 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/harmless-sdn/harmless/internal/controller"
 	"github.com/harmless-sdn/harmless/internal/controller/apps"
 	"github.com/harmless-sdn/harmless/internal/fabric"
+	"github.com/harmless-sdn/harmless/internal/harmless"
 	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/openflow"
 	"github.com/harmless-sdn/harmless/internal/pkt"
 	"github.com/harmless-sdn/harmless/internal/softswitch"
+	ssruntime "github.com/harmless-sdn/harmless/internal/softswitch/runtime"
 )
 
 func main() {
 	duration := flag.Duration("duration", 500*time.Millisecond, "measurement time per cell")
 	specialize := flag.Bool("specialize", true, "enable the ESwitch-style fast path")
 	batch := flag.Int("batch", 1, "frames per ReceiveBatch vector (1 = per-frame Receive)")
+	workers := flag.Int("workers", 0, "poll-mode workers (and producers) driving the datapath (0 = single caller thread)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.Parse()
 
@@ -48,11 +56,16 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	fmt.Printf("batch=%d\n", *batch)
+	fmt.Printf("batch=%d workers=%d\n", *batch, *workers)
 	fmt.Printf("%-8s %-22s %-22s %-10s\n", "frame", "bare softswitch", "HARMLESS chain", "penalty")
 	for _, size := range fabric.FrameSizes {
-		barePPS := measureBare(size, *duration, *specialize, *batch)
-		harmPPS := measureHARMLESS(size, *duration, *specialize, *batch)
+		var barePPS float64
+		if *workers > 0 {
+			barePPS = measureBareWorkers(size, *duration, *specialize, *workers)
+		} else {
+			barePPS = measureBare(size, *duration, *specialize, *batch)
+		}
+		harmPPS := measureHARMLESS(size, *duration, *specialize, *batch, *workers)
 		penalty := 1 - harmPPS/barePPS
 		fmt.Printf("%-8d %10.0f pps %5.2f Gb/s %10.0f pps %5.2f Gb/s %8.1f%%\n",
 			size,
@@ -104,7 +117,75 @@ func measureBare(size int, d time.Duration, specialize bool, batch int) float64 
 	})
 }
 
-func measureHARMLESS(size int, d time.Duration, specialize bool, batch int) float64 {
+// discardBackend swallows egress frames, counting them: the bare
+// worker measurement wants nothing but datapath and pool in the
+// measured loop (no egress ring to drain from outside).
+type discardBackend struct {
+	frames atomic.Uint64
+}
+
+func (db *discardBackend) Transmit([]byte) { db.frames.Add(1) }
+func (db *discardBackend) TransmitBatch(fs [][]byte) {
+	db.frames.Add(uint64(len(fs)))
+}
+
+// measureBareWorkers drives the bare switch through the poll-mode
+// worker pool: `workers` producer goroutines dispatch flows into the
+// RSS-sharded rings, `workers` run-to-completion workers drain them.
+// Reported pps is aggregate frames processed over wall time.
+func measureBareWorkers(size int, d time.Duration, specialize bool, workers int) float64 {
+	sw := softswitch.New("bare", 1, softswitch.WithSpecialization(specialize))
+	sink := &discardBackend{}
+	sw.AttachPort(2, "out", sink)
+	m := openflow.Match{}
+	m.WithInPort(1)
+	if _, err := sw.ApplyFlowMod(&openflow.FlowMod{
+		TableID: 0, Command: openflow.FlowAdd, Priority: 10,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortAny, OutGroup: openflow.GroupAny,
+		Match: m, Instructions: []openflow.Instruction{&openflow.InstrApplyActions{
+			Actions: []openflow.Action{&openflow.ActionOutput{Port: 2, MaxLen: 0xffff}},
+		}},
+	}); err != nil {
+		fatal("flow: %v", err)
+	}
+	pool := ssruntime.New(sw, ssruntime.Config{Workers: workers})
+	pool.Start()
+	defer pool.Stop()
+
+	// Warm the cache with every flow before the clock starts; the
+	// warm-up frames are excluded from the reported rate via base.
+	warmGen := fabric.NewUDPGenerator(size, 256, 42)
+	for i := 0; i < warmGen.Len(); i++ {
+		for !pool.Dispatch(1, warmGen.Next()) {
+		}
+	}
+	pool.Drain()
+	base := pool.Stats().Frames
+
+	start := time.Now()
+	deadline := start.Add(d)
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gen := fabric.NewUDPGenerator(size, 256, 42)
+			for time.Now().Before(deadline) {
+				for i := 0; i < 256; i++ {
+					for !pool.Dispatch(1, gen.Next()) {
+						// ring full: workers are the bottleneck, retry
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	pool.Drain()
+	elapsed := time.Since(start)
+	return float64(pool.Stats().Frames-base) / elapsed.Seconds()
+}
+
+func measureHARMLESS(size int, d time.Duration, specialize bool, batch, workers int) float64 {
 	dep, err := fabric.BuildDeployment(fabric.DeployConfig{
 		NumPorts:   4,
 		Apps:       []controller.App{&apps.Learning{Table: 0}},
@@ -116,6 +197,18 @@ func measureHARMLESS(size int, d time.Duration, specialize bool, batch int) floa
 	defer dep.Close()
 	if err := dep.WaitConnected(5 * time.Second); err != nil {
 		fatal("controller: %v", err)
+	}
+	// With workers, trunk rx into SS_1 goes through the RSS-sharded
+	// pool instead of running inline on the injecting goroutine — the
+	// same interposition harmlessd -workers performs.
+	var pool *ssruntime.Pool
+	if workers > 0 {
+		pool = ssruntime.New(dep.S4.SS1, ssruntime.Config{Workers: workers})
+		pool.Start()
+		defer pool.Stop()
+		trunk := dep.TrunkLink.B()
+		trunk.SetReceiver(func(frame []byte) { pool.Dispatch(harmless.SS1TrunkPort, frame) })
+		trunk.SetBatchReceiver(func(frames [][]byte) { pool.DispatchBatch(harmless.SS1TrunkPort, frames) })
 	}
 	// Warm flows in both directions.
 	for i := 0; i < 2; i++ {
@@ -146,13 +239,30 @@ func measureHARMLESS(size int, d time.Duration, specialize bool, batch int) floa
 	for i := range vec {
 		vec[i] = append([]byte{}, frame...)
 	}
-	return measure(d, batch, func() {
+	send := func() {
 		if batch == 1 {
 			h1.SendRaw(frame)
 			return
 		}
 		h1.SendRawBatch(vec)
-	})
+	}
+	if pool == nil {
+		return measure(d, batch, send)
+	}
+	// Worker mode: the send loop only queues into the RSS rings, so
+	// count what the workers actually PROCESSED, not what was sent
+	// (ring tail drops under overload must not inflate the result).
+	pool.Drain()
+	base := pool.Stats().Frames
+	start := time.Now()
+	for time.Since(start) < d {
+		for i := 0; i < 64; i++ {
+			send()
+		}
+	}
+	pool.Drain()
+	elapsed := time.Since(start)
+	return float64(pool.Stats().Frames-base) / elapsed.Seconds()
 }
 
 // measure runs fn (which moves `batch` frames) in a tight loop for

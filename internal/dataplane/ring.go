@@ -25,6 +25,7 @@ type Ring struct {
 type ringSlot struct {
 	seq   atomic.Uint64
 	frame []byte
+	port  uint32 // ingress port carried alongside the frame (PushFrame)
 }
 
 // NewRing creates a ring with capacity rounded up to a power of two,
@@ -58,7 +59,14 @@ func (r *Ring) Len() int {
 
 // Push enqueues one frame, taking ownership. It returns false when the
 // ring is full (the frame is not enqueued and stays the caller's).
-func (r *Ring) Push(frame []byte) bool {
+func (r *Ring) Push(frame []byte) bool { return r.PushFrame(frame, 0) }
+
+// PushFrame enqueues one frame tagged with its ingress port, taking
+// ownership of the frame. It returns false when the ring is full (the
+// frame is not enqueued and stays the caller's). This is the producer
+// side of an RX queue: the poll-mode worker runtime tags each frame so
+// one ring can carry traffic arriving on many datapath ports.
+func (r *Ring) PushFrame(frame []byte, inPort uint32) bool {
 	pos := r.head.Load()
 	for {
 		slot := &r.slots[pos&r.mask]
@@ -67,6 +75,7 @@ func (r *Ring) Push(frame []byte) bool {
 		case diff == 0:
 			if r.head.CompareAndSwap(pos, pos+1) {
 				slot.frame = frame
+				slot.port = inPort
 				slot.seq.Store(pos + 1)
 				return true
 			}
@@ -82,6 +91,14 @@ func (r *Ring) Push(frame []byte) bool {
 // Pop dequeues the oldest frame, transferring ownership to the caller.
 // It returns false when the ring is empty.
 func (r *Ring) Pop() ([]byte, bool) {
+	frame, _, ok := r.PopFrame()
+	return frame, ok
+}
+
+// PopFrame dequeues the oldest frame with its ingress-port tag,
+// transferring ownership to the caller. It returns false when the ring
+// is empty. Frames enqueued with Push carry port 0.
+func (r *Ring) PopFrame() ([]byte, uint32, bool) {
 	pos := r.tail.Load()
 	for {
 		slot := &r.slots[pos&r.mask]
@@ -90,13 +107,14 @@ func (r *Ring) Pop() ([]byte, bool) {
 		case diff == 0:
 			if r.tail.CompareAndSwap(pos, pos+1) {
 				frame := slot.frame
+				port := slot.port
 				slot.frame = nil
 				slot.seq.Store(pos + uint64(len(r.slots)))
-				return frame, true
+				return frame, port, true
 			}
 			pos = r.tail.Load()
 		case diff < 0:
-			return nil, false // empty
+			return nil, 0, false // empty
 		default:
 			pos = r.tail.Load()
 		}
@@ -115,4 +133,21 @@ func (r *Ring) Drain(into [][]byte, max int) [][]byte {
 		into = append(into, f)
 	}
 	return into
+}
+
+// DrainBatch pops up to max frames (or everything queued when max <= 0)
+// into b via Append, preserving each frame's ingress-port tag — the
+// Batch+Meta shape Switch.ReceiveMixedBatch consumes. It returns the
+// number of frames appended.
+func (r *Ring) DrainBatch(b *Batch, max int) int {
+	n := 0
+	for max <= 0 || n < max {
+		f, port, ok := r.PopFrame()
+		if !ok {
+			break
+		}
+		b.Append(f, port)
+		n++
+	}
+	return n
 }

@@ -50,10 +50,11 @@ func TestRingWrapAround(t *testing.T) {
 }
 
 func TestRingConcurrent(t *testing.T) {
-	const (
-		producers = 4
-		perProd   = 10000
-	)
+	const producers = 4
+	perProd := 10000
+	if testing.Short() {
+		perProd = 1000 // keep the CI race matrix fast
+	}
 	r := NewRing(1024)
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {

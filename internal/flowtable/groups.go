@@ -11,23 +11,47 @@ import (
 	"github.com/harmless-sdn/harmless/internal/pkt"
 )
 
-// Group is one installed group entry.
+// Group is one installed group entry. A Group is IMMUTABLE once
+// published: the datapath reads Type and Buckets lock-free after
+// GroupTable.Get, so a group-mod never mutates a live Group in place —
+// GroupModify installs a replacement that shares the counter block
+// (see groupCounters), keeping statistics exact across the swap.
 type Group struct {
 	ID      uint32
 	Type    uint8
 	Buckets []openflow.Bucket
 
+	counters atomic.Pointer[groupCounters]
+}
+
+// groupCounters is the statistics block shared between a group and its
+// modify-replacements, so concurrent hits racing a group-mod are never
+// lost.
+type groupCounters struct {
 	packets atomic.Uint64
 	bytes   atomic.Uint64
 }
 
+// stats returns the counter block, creating it on first use (groups
+// installed via Apply get theirs eagerly; zero-value Groups built by
+// hand initialize here, with a CAS so racing initializers converge on
+// one block and no count is lost).
+func (g *Group) stats() *groupCounters {
+	if c := g.counters.Load(); c != nil {
+		return c
+	}
+	g.counters.CompareAndSwap(nil, &groupCounters{})
+	return g.counters.Load()
+}
+
 // Packets returns the group's packet counter.
-func (g *Group) Packets() uint64 { return g.packets.Load() }
+func (g *Group) Packets() uint64 { return g.stats().packets.Load() }
 
 // Hit accounts one packet through the group.
 func (g *Group) Hit(n int) {
-	g.packets.Add(1)
-	g.bytes.Add(uint64(n))
+	c := g.stats()
+	c.packets.Add(1)
+	c.bytes.Add(uint64(n))
 }
 
 // SelectBucket picks the bucket for a packet in a SELECT group using a
@@ -131,14 +155,21 @@ func (gt *GroupTable) Apply(gm *openflow.GroupMod) error {
 		if _, ok := gt.groups[gm.GroupID]; ok {
 			return fmt.Errorf("flowtable: group %d exists", gm.GroupID)
 		}
-		gt.groups[gm.GroupID] = &Group{ID: gm.GroupID, Type: gm.GroupType, Buckets: gm.Buckets}
+		ng := &Group{ID: gm.GroupID, Type: gm.GroupType, Buckets: gm.Buckets}
+		ng.counters.Store(&groupCounters{})
+		gt.groups[gm.GroupID] = ng
 	case openflow.GroupModify:
 		g, ok := gt.groups[gm.GroupID]
 		if !ok {
 			return fmt.Errorf("flowtable: group %d unknown", gm.GroupID)
 		}
-		g.Type = gm.GroupType
-		g.Buckets = gm.Buckets
+		// Publish a replacement instead of mutating the live group: a
+		// datapath reader holding the old *Group keeps a consistent
+		// Type/Buckets snapshot, and the shared counter block keeps
+		// racing hits accounted.
+		ng := &Group{ID: gm.GroupID, Type: gm.GroupType, Buckets: gm.Buckets}
+		ng.counters.Store(g.stats())
+		gt.groups[gm.GroupID] = ng
 	case openflow.GroupDelete:
 		if gm.GroupID == openflow.GroupAny {
 			gt.groups = make(map[uint32]*Group)

@@ -44,12 +44,18 @@ func TestDriverAristaTrunkConfig(t *testing.T) {
 
 // TestConcurrentManagementSessions drives several CLI sessions against
 // one switch in parallel — the management plane must serialize safely.
+// Under -short only a quarter of the sessions run, so the CI race
+// matrix stays fast.
 func TestConcurrentManagementSessions(t *testing.T) {
+	sessions := 8
+	if testing.Short() {
+		sessions = 2
+	}
 	sw := legacy.NewSwitch("conc", 24)
 	addr := newDeviceRig(t, sw, legacy.DialectCiscoish)
 	var wg sync.WaitGroup
-	errs := make(chan error, 8)
-	for w := 0; w < 8; w++ {
+	errs := make(chan error, sessions)
+	for w := 0; w < sessions; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -76,7 +82,7 @@ func TestConcurrentManagementSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := sw.Config()
-	for p := 1; p <= 24; p++ {
+	for p := 1; p <= sessions*3; p++ {
 		if cfg.Ports[p].PVID != uint16(200+p) {
 			t.Errorf("port %d PVID = %d", p, cfg.Ports[p].PVID)
 		}

@@ -260,7 +260,8 @@ func TestCacheMeterDropCreditsLikeWalk(t *testing.T) {
 // TestConcurrentReceiveFlowMod hammers the datapath from several
 // goroutines while flow-mods (add, modify, delete) and expiry sweeps
 // run concurrently. It passes when run under -race and every packet is
-// either forwarded or dropped (conservation).
+// either forwarded or dropped (conservation). Under -short the
+// iteration counts shrink 10x so the CI race matrix stays fast.
 func TestConcurrentReceiveFlowMod(t *testing.T) {
 	sw := New("race", 0x42)
 	l := netem.NewLink(netem.LinkConfig{})
@@ -272,10 +273,11 @@ func TestConcurrentReceiveFlowMod(t *testing.T) {
 	m.WithInPort(1)
 	addFlow(t, sw, 0, 10, m, apply(out(2)))
 
-	const (
-		writers = 4
-		packets = 2000
-	)
+	const writers = 4
+	packets, mods := 2000, 300
+	if testing.Short() {
+		packets, mods = 200, 30
+	}
 	frames := make([][]byte, 8)
 	for i := range frames {
 		frames[i] = udpFrame(t, macA, macB, ipA, ipB, uint16(1000+i), 80, "race")
@@ -293,7 +295,7 @@ func TestConcurrentReceiveFlowMod(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := 0; i < 300; i++ {
+		for i := 0; i < mods; i++ {
 			port := uint32(2)
 			_, _ = sw.ApplyFlowMod(flowMod(openflow.FlowModify, 0, 10, m, apply(out(port))))
 			_, _ = sw.ApplyFlowMod(flowMod(openflow.FlowAdd, 0, 10, m, apply(out(port))))
@@ -307,7 +309,7 @@ func TestConcurrentReceiveFlowMod(t *testing.T) {
 	wg.Wait()
 
 	rx := sw.PortCounters(2).TxPackets.Load() // frames that left port 2
-	if rx+sw.Drops() != writers*packets {
+	if rx+sw.Drops() != uint64(writers*packets) {
 		t.Errorf("conservation: tx=%d drops=%d, want sum %d", rx, sw.Drops(), writers*packets)
 	}
 }

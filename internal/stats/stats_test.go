@@ -35,6 +35,46 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 }
 
+func TestShardedCounter(t *testing.T) {
+	s := NewShardedCounter(4)
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d", s.Shards())
+	}
+	s.Shard(0).Add(5)
+	s.Shard(3).Inc()
+	if s.Load() != 6 {
+		t.Errorf("Load = %d, want 6", s.Load())
+	}
+	// Clamped to at least one shard.
+	if NewShardedCounter(0).Shards() != 1 {
+		t.Error("zero-shard counter not clamped")
+	}
+}
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	const writers = 8
+	perWriter := 10000
+	if testing.Short() {
+		perWriter = 1000
+	}
+	s := NewShardedCounter(writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.Shard(w) // each writer owns one shard, per the contract
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Load(); got != uint64(writers*perWriter) {
+		t.Errorf("Load = %d, want %d", got, writers*perWriter)
+	}
+}
+
 func TestPortCounters(t *testing.T) {
 	var p PortCounters
 	p.RecordRx(100)
