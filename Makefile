@@ -5,7 +5,7 @@
 GO ?= go
 
 # Keep in sync with the bench-smoke job in .github/workflows/ci.yml.
-BENCH_PATTERN := BenchmarkSingleFlow|BenchmarkReceiveBatch|BenchmarkManyFlows|BenchmarkWorkerScaling|BenchmarkDispatch
+BENCH_PATTERN := BenchmarkSingleFlow|BenchmarkReceiveBatch|BenchmarkManyFlows|BenchmarkWorkerScaling|BenchmarkDispatch|BenchmarkTelemetryOverhead
 BENCH_PKGS    := ./internal/softswitch ./internal/softswitch/runtime
 
 SHELL := /bin/bash -o pipefail

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +30,7 @@ import (
 	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/snmp"
 	ssruntime "github.com/harmless-sdn/harmless/internal/softswitch/runtime"
+	"github.com/harmless-sdn/harmless/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +44,9 @@ func main() {
 	asyncLinks := flag.Bool("async-links", false, "queued (async) netem links with vectored rx delivery instead of synchronous in-line calls")
 	rxBatch := flag.Int("rx-batch", 64, "max frames one async link wakeup coalesces into a single batch delivery")
 	workers := flag.Int("workers", 0, "poll-mode workers draining SS_1's trunk ingress with RSS flow sharding (0 = deliver inline on the caller thread)")
+	telemetryExport := flag.String("telemetry-export", "", "export IPFIX-style flow records to this UDP collector (e.g. the cmd/flowtop listener; empty = no wire export)")
+	sampleRate := flag.Int("sample-rate", 64, "sFlow-style 1-in-N packet sampling on the telemetry plane (0 = off)")
+	httpListen := flag.String("http", "", "serve the live telemetry endpoints (/flows, /stats) on this address (empty = off)")
 	flag.Parse()
 
 	dialect := legacy.DialectCiscoish
@@ -106,19 +111,107 @@ func main() {
 	fmt.Printf("harmlessd: migrated %q: trunk=%d ports=%v vlans=%v\n",
 		plan.Hostname, plan.TrunkPort, plan.MigratedPorts(), plan.TrunkVLANs())
 
+	// Flow telemetry: attach the telemetry plane to SS_1 (the switch
+	// every migrated frame crosses) when any telemetry output — wire
+	// export or the HTTP live view — is requested.
+	var tel *telemetry.Table
+	var agg *telemetry.Aggregator
+	telCol := telemetry.NewCollector()
+	if *telemetryExport != "" || *httpListen != "" {
+		shards := 1
+		if *workers > 0 {
+			shards = *workers
+		}
+		tel = telemetry.NewTable(telemetry.Config{
+			Shards:     shards,
+			SampleRate: *sampleRate,
+		})
+		// The in-process collector only accumulates when something
+		// reads it (the /stats view) — and bounded, so an unattended
+		// daemon under endless flow churn cannot grow without limit.
+		var exps telemetry.TeeExporter
+		if *httpListen != "" {
+			telCol.SetMaxFlows(1 << 16)
+			exps = append(exps, telCol)
+		}
+		if *telemetryExport != "" {
+			udp, err := telemetry.NewUDPExporter(*telemetryExport)
+			if err != nil {
+				fatal("telemetry-export: %v", err)
+			}
+			defer udp.Close()
+			exps = append(exps, udp)
+			fmt.Printf("harmlessd: exporting flow records to udp://%s (sample 1/%d)\n", *telemetryExport, *sampleRate)
+		}
+		var exp telemetry.Exporter = exps
+		if len(exps) == 1 {
+			exp = exps[0]
+		}
+		agg = telemetry.NewAggregator(tel, exp, time.Second)
+		agg.Start()
+		defer agg.Stop()
+		d.S4.SS1.SetTelemetry(tel)
+		// Keep the timers moving even when the datapath is quiet and
+		// no worker pool is doing it on its idle path.
+		sweep := time.NewTicker(time.Second)
+		defer sweep.Stop()
+		go func() {
+			for range sweep.C {
+				tel.Sweep(time.Now().UnixNano())
+			}
+		}()
+		defer func() {
+			tel.FlushAll(time.Now().UnixNano())
+			agg.Flush()
+		}()
+	}
+
 	// Poll-mode workers: interpose the RSS-sharded worker pool between
 	// the trunk link and SS_1, so trunk rx is dispatched by flow hash
 	// to N run-to-completion workers instead of running inline on the
 	// link's delivery goroutine.
 	var pool *ssruntime.Pool
 	if *workers > 0 {
-		pool = ssruntime.New(d.S4.SS1, ssruntime.Config{Workers: *workers})
+		pool = ssruntime.New(d.S4.SS1, ssruntime.Config{Workers: *workers, Telemetry: tel})
 		pool.Start()
 		defer pool.Stop()
 		trunk := d.TrunkLink.B()
 		trunk.SetReceiver(func(frame []byte) { pool.Dispatch(harmless.SS1TrunkPort, frame) })
 		trunk.SetBatchReceiver(func(frames [][]byte) { pool.DispatchBatch(harmless.SS1TrunkPort, frames) })
 		fmt.Printf("harmlessd: %d poll-mode workers on SS_1 trunk ingress\n", pool.Workers())
+	}
+
+	// Live observability endpoints: /flows (top talkers of the live
+	// record table) and /stats (telemetry + datapath + worker state).
+	if *httpListen != "" {
+		l, err := net.Listen("tcp", *httpListen)
+		if err != nil {
+			fatal("http listen: %v", err)
+		}
+		defer l.Close()
+		mux := telemetry.NewMux(tel, agg, func() map[string]any {
+			extra := map[string]any{
+				"ss1_cache":  d.S4.SS1.CacheStats().String(),
+				"ss1_flows":  d.S4.SS1.CacheLen(),
+				"ss2_cache":  d.S4.SS2.CacheStats().String(),
+				"packet_ins": d.S4.SS2.PacketIns(),
+			}
+			pkts, bytes := telCol.Totals()
+			extra["exported_totals"] = map[string]uint64{"packets": pkts, "bytes": bytes}
+			if pool != nil {
+				st := pool.Stats()
+				extra["workers"] = map[string]uint64{
+					"frames": st.Frames, "bytes": st.Bytes, "batches": st.Batches,
+					"cache_hits": st.CacheHits, "slow_path": st.SlowPath,
+					"dropped": st.Dropped, "rx_drops": st.RxDrops,
+				}
+			}
+			return extra
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(l) //nolint:errcheck
+		defer srv.Close()
+		fmt.Printf("harmlessd: telemetry endpoints on http://%s/flows and /stats\n", l.Addr())
 	}
 
 	if *oneshot {
@@ -142,6 +235,7 @@ func main() {
 		case <-tick:
 			printStatus(d)
 			printWorkers(pool)
+			printTelemetry(tel, agg)
 		}
 	}
 }
@@ -161,6 +255,17 @@ func printWorkers(pool *ssruntime.Pool) {
 		fmt.Printf("status:   worker %d: frames=%d batches=%d hits=%d slow=%d\n",
 			i, ws.Frames, ws.Batches, ws.CacheHits, ws.SlowPath)
 	}
+}
+
+// printTelemetry renders the telemetry-plane line of the status loop.
+func printTelemetry(tel *telemetry.Table, agg *telemetry.Aggregator) {
+	if tel == nil {
+		return
+	}
+	as := agg.Stats()
+	fmt.Printf("status: telemetry live=%d %s | exported=%d biflows=%d samples=%d msgs=%d errs=%d\n",
+		tel.Len(), tel.Counters(),
+		as.FlowRecords, as.Biflows, as.Samples, as.Messages, as.ExportErrors)
 }
 
 // runDemo proves end-to-end connectivity through the HARMLESS chain.

@@ -11,6 +11,16 @@
 // on the bare path, and the pool interposed on SS_1's trunk ingress in
 // the chain; -cpuprofile writes a pprof profile of the measurement
 // loops.
+//
+// -flows N switches to the telemetry exercise mode instead of the E2
+// sweep: a heavy-hitter + mouse-churn flow mix (N concurrently active
+// short-lived flows over a few elephants) runs for -duration with the
+// flow-telemetry plane attached, so aggregation, the active/idle
+// export timers and the 1-in-N sampler face realistic flow dynamics.
+// It prints live telemetry state each second, the top talkers at the
+// end, and verifies exported totals against the datapath counters;
+// -telemetry-export additionally ships the IPFIX records to a real
+// collector (see cmd/flowtop).
 package main
 
 import (
@@ -34,11 +44,16 @@ import (
 )
 
 func main() {
-	duration := flag.Duration("duration", 500*time.Millisecond, "measurement time per cell")
+	duration := flag.Duration("duration", 500*time.Millisecond, "measurement time per cell (or total time in -flows mode)")
 	specialize := flag.Bool("specialize", true, "enable the ESwitch-style fast path")
 	batch := flag.Int("batch", 1, "frames per ReceiveBatch vector (1 = per-frame Receive)")
 	workers := flag.Int("workers", 0, "poll-mode workers (and producers) driving the datapath (0 = single caller thread)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	flows := flag.Int("flows", 0, "telemetry mix mode: N active short-lived flows churning over heavy hitters (0 = run the E2 sweep)")
+	elephants := flag.Int("elephants", 4, "long-lived heavy-hitter flows in the -flows mix")
+	mouseLife := flag.Int("mouse-life", 32, "packets each short-lived flow emits before being replaced")
+	sampleRate := flag.Int("sample-rate", 64, "sFlow-style 1-in-N packet sampling in the -flows mix (0 = off)")
+	export := flag.String("telemetry-export", "", "also ship IPFIX records to this UDP collector address in -flows mode")
 	flag.Parse()
 
 	if *batch < 1 {
@@ -54,6 +69,15 @@ func main() {
 			fatal("cpuprofile: %v", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *flows > 0 {
+		runMix(mixConfig{
+			flows: *flows, elephants: *elephants, mouseLife: *mouseLife,
+			duration: *duration, workers: *workers, batch: *batch,
+			sampleRate: *sampleRate, specialize: *specialize, export: *export,
+		})
+		return
 	}
 
 	fmt.Printf("batch=%d workers=%d\n", *batch, *workers)

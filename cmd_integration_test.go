@@ -6,7 +6,9 @@ package harmless_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -22,7 +24,7 @@ func buildBinaries(t *testing.T) string {
 		t.Skip("binary integration test")
 	}
 	dir := t.TempDir()
-	for _, name := range []string{"harmlessd", "ofctl", "costcalc", "trafficgen"} {
+	for _, name := range []string{"harmlessd", "ofctl", "costcalc", "trafficgen", "flowtop"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -130,4 +132,126 @@ func waitForListen(t *testing.T, addr string) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatalf("nothing listening on %s", addr)
+}
+
+// TestBinaryTelemetryPipeline pairs the export and collection halves
+// of the telemetry plane over real UDP: flowtop listens as the IPFIX
+// collector, harmlessd runs the oneshot demo exporting flow records
+// to it, and flowtop's rendered top-talkers must account the demo's
+// traffic.
+func TestBinaryTelemetryPipeline(t *testing.T) {
+	bin := buildBinaries(t)
+	l, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.LocalAddr().String()
+	l.Close() // flowtop takes the port over
+
+	ft := exec.Command(filepath.Join(bin, "flowtop"),
+		"-listen", addr, "-interval", "500ms", "-count", "6", "-top", "5")
+	var ftOut bytes.Buffer
+	ft.Stdout = &ftOut
+	ft.Stderr = &ftOut
+	if err := ft.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ftDone := make(chan error, 1)
+	go func() { ftDone <- ft.Wait() }()
+
+	hd := exec.Command(filepath.Join(bin, "harmlessd"),
+		"-ports", "4", "-oneshot", "-workers", "2",
+		"-telemetry-export", addr, "-sample-rate", "4")
+	hdOut, err := hd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("harmlessd: %v\n%s", err, hdOut)
+	}
+	if !strings.Contains(string(hdOut), "exporting flow records") {
+		t.Fatalf("harmlessd did not announce the exporter:\n%s", hdOut)
+	}
+
+	select {
+	case err := <-ftDone:
+		if err != nil {
+			t.Fatalf("flowtop: %v\n%s", err, ftOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		_ = ft.Process.Kill()
+		t.Fatalf("flowtop timed out\n%s", ftOut.String())
+	}
+	out := ftOut.String()
+	// The demo's ARP bursts cross SS_1; the collector must have seen
+	// real records and nonzero totals.
+	if !strings.Contains(out, "0x0806") {
+		t.Errorf("flowtop saw no ARP flows:\n%s", out)
+	}
+	if strings.Contains(out, "total 0 pkts") || !strings.Contains(out, "records=") {
+		t.Errorf("flowtop totals missing:\n%s", out)
+	}
+}
+
+// TestBinaryHarmlessdHTTPEndpoints checks the live /flows and /stats
+// observability endpoints of a running daemon.
+func TestBinaryHarmlessdHTTPEndpoints(t *testing.T) {
+	bin := buildBinaries(t)
+	port := freeTCPPort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	hd := exec.Command(filepath.Join(bin, "harmlessd"),
+		"-ports", "4", "-stats", "0", "-http", addr)
+	var hdOut bytes.Buffer
+	hd.Stdout = &hdOut
+	hd.Stderr = &hdOut
+	if err := hd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = hd.Process.Kill()
+		_, _ = hd.Process.Wait()
+	}()
+	waitForListen(t, addr)
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\nharmlessd:\n%s", path, err, hdOut.String())
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d\n%s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	stats := get("/stats")
+	for _, want := range []string{"telemetry", "flows_created", "aggregator", "ss1_cache"} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("/stats missing %q:\n%s", want, stats)
+		}
+	}
+	flows := get("/flows?n=5")
+	for _, want := range []string{"\"flows\"", "\"shown\""} {
+		if !strings.Contains(flows, want) {
+			t.Errorf("/flows missing %q:\n%s", want, flows)
+		}
+	}
+}
+
+// TestBinaryTrafficgenMix runs the telemetry exercise mode briefly and
+// checks the exactness verdict it self-reports.
+func TestBinaryTrafficgenMix(t *testing.T) {
+	bin := buildBinaries(t)
+	out, err := exec.Command(filepath.Join(bin, "trafficgen"),
+		"-flows", "64", "-duration", "400ms", "-workers", "2", "-sample-rate", "16").CombinedOutput()
+	if err != nil {
+		t.Fatalf("trafficgen -flows: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"top talkers", "EXACT", "churned="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("mix output missing %q:\n%s", want, s)
+		}
+	}
 }

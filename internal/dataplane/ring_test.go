@@ -1,7 +1,9 @@
 package dataplane
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -131,5 +133,185 @@ func TestBatchAppendReset(t *testing.T) {
 	b.Reset()
 	if b.Len() != 0 || len(b.Meta) != 0 {
 		t.Fatal("reset did not empty the batch")
+	}
+}
+
+// TestDrainBatchWraparound forces the ring's head/tail sequence
+// counters through many wraps of a small ring while draining into a
+// Batch, checking FIFO order, port tags and exact counts across the
+// index wrap — the regime the telemetry drains and the worker RX
+// rings run in permanently.
+func TestDrainBatchWraparound(t *testing.T) {
+	r := NewRing(8)
+	var b Batch
+	seq := byte(0)    // next value to push
+	expect := byte(0) // next value we must pop
+	for round := 0; round < 64; round++ {
+		// Fill to a varying level so the wrap point lands on every
+		// possible slot offset.
+		fill := 1 + round%8
+		for i := 0; i < fill; i++ {
+			if !r.PushFrame([]byte{seq}, uint32(seq)) {
+				t.Fatalf("round %d: push %d rejected below capacity", round, seq)
+			}
+			seq++
+		}
+		// Drain in two bounded bites to exercise partial drains that
+		// straddle the wrap.
+		for _, max := range []int{fill / 2, fill - fill/2} {
+			if max == 0 {
+				continue
+			}
+			b.Reset()
+			if got := r.DrainBatch(&b, max); got != max {
+				t.Fatalf("round %d: drained %d, want %d", round, got, max)
+			}
+			for i := 0; i < max; i++ {
+				if b.Frames[i][0] != expect {
+					t.Fatalf("round %d: FIFO broken across wrap: got %d want %d", round, b.Frames[i][0], expect)
+				}
+				if b.Meta[i].InPort != uint32(expect) {
+					t.Fatalf("round %d: port tag lost across wrap: got %d want %d", round, b.Meta[i].InPort, expect)
+				}
+				expect++
+			}
+		}
+		if r.Len() != 0 {
+			t.Fatalf("round %d: ring not empty: %d", round, r.Len())
+		}
+	}
+	if seq != expect {
+		t.Fatalf("conservation: pushed %d, popped %d", seq, expect)
+	}
+}
+
+// TestDrainBatchUnboundedAtWrap drains everything (max <= 0) from a
+// ring whose contents straddle the wrap boundary.
+func TestDrainBatchUnboundedAtWrap(t *testing.T) {
+	r := NewRing(4)
+	// Advance tail/head to one slot before the wrap.
+	for i := 0; i < 3; i++ {
+		r.Push([]byte{byte(i)})
+		r.Pop()
+	}
+	// Now fill fully: slots 3,0,1,2 — the batch spans the wrap.
+	for i := 0; i < 4; i++ {
+		if !r.PushFrame([]byte{byte(10 + i)}, uint32(i)) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if r.PushFrame([]byte{99}, 0) {
+		t.Fatal("push accepted on full ring at wrap boundary")
+	}
+	var b Batch
+	if got := r.DrainBatch(&b, 0); got != 4 {
+		t.Fatalf("unbounded drain = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if b.Frames[i][0] != byte(10+i) || b.Meta[i].InPort != uint32(i) {
+			t.Fatalf("slot %d = %d/%d", i, b.Frames[i][0], b.Meta[i].InPort)
+		}
+	}
+	// The drained ring must be immediately reusable for a full cycle.
+	if !r.Push([]byte{42}) {
+		t.Fatal("ring unusable after wrap drain")
+	}
+	if f, ok := r.Pop(); !ok || f[0] != 42 {
+		t.Fatal("pop after wrap drain")
+	}
+}
+
+// TestDrainBatchEmptyAndNegativeMax: edge parameters.
+func TestDrainBatchEmptyAndNegativeMax(t *testing.T) {
+	r := NewRing(4)
+	var b Batch
+	if got := r.DrainBatch(&b, -1); got != 0 || b.Len() != 0 {
+		t.Fatalf("drain of empty ring = %d/%d", got, b.Len())
+	}
+	r.Push([]byte{1})
+	if got := r.DrainBatch(&b, -5); got != 1 {
+		t.Fatalf("negative max must mean unbounded, got %d", got)
+	}
+}
+
+// TestTypedRingWraparoundValues runs a non-frame payload (the shape
+// telemetry exports use) through repeated wraps, checking order and
+// the zeroing of vacated slots.
+func TestTypedRingWraparoundValues(t *testing.T) {
+	type rec struct {
+		id  int
+		ref *int
+	}
+	r := NewTypedRing[rec](4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	next, expect := 0, 0
+	for round := 0; round < 32; round++ {
+		n := 1 + round%4
+		for i := 0; i < n; i++ {
+			v := next
+			if !r.Push(rec{id: v, ref: &v}) {
+				t.Fatalf("push %d rejected", v)
+			}
+			next++
+		}
+		for i := 0; i < n; i++ {
+			got, ok := r.Pop()
+			if !ok || got.id != expect || got.ref == nil || *got.ref != expect {
+				t.Fatalf("pop = %+v, %v; want id %d", got, ok, expect)
+			}
+			expect++
+		}
+		if _, ok := r.Pop(); ok {
+			t.Fatal("pop from empty typed ring succeeded")
+		}
+	}
+}
+
+// TestTypedRingConcurrentMPMC hammers the typed ring from several
+// producers and consumers, checking conservation.
+func TestTypedRingConcurrentMPMC(t *testing.T) {
+	const producers, consumers = 4, 4
+	perProducer := 20000
+	if testing.Short() {
+		perProducer = 2000
+	}
+	r := NewTypedRing[int](64)
+	var sum, want atomic.Int64
+	var wg sync.WaitGroup
+	var popped atomic.Int64
+	total := int64(producers * perProducer)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				want.Add(int64(v))
+				for !r.Push(v) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for popped.Load() < total {
+				v, ok := r.Pop()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				sum.Add(int64(v))
+				popped.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if sum.Load() != want.Load() {
+		t.Fatalf("sum %d != pushed %d", sum.Load(), want.Load())
 	}
 }

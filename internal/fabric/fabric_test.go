@@ -3,6 +3,7 @@ package fabric
 import (
 	"bytes"
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -296,5 +297,45 @@ func TestPayloadIntegrityThroughHARMLESS(t *testing.T) {
 		if !bytes.Equal(msg.Payload, payload) {
 			t.Fatalf("trial %d: payload corrupted (%d bytes)", trial, size)
 		}
+	}
+}
+
+func TestMixGeneratorShape(t *testing.T) {
+	g := NewMixGenerator(64, 4, 32, 8, 0.8, 7)
+	if g.DistinctFlows() != 4+8*32 {
+		t.Fatalf("distinct flows = %d", g.DistinctFlows())
+	}
+	counts := map[string]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		f := g.Next()
+		if len(f) < 64 {
+			t.Fatalf("frame %d bytes", len(f))
+		}
+		counts[string(f[6:12])]++ // src MAC identifies the flow
+	}
+	// Elephant share: the 4 elephants are the hottest flows by
+	// construction and must carry roughly 80% of the packets.
+	var elephantPkts int
+	flows := len(counts)
+	hottest := make([]int, 0, len(counts))
+	for _, c := range counts {
+		hottest = append(hottest, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(hottest)))
+	for i := 0; i < 4 && i < len(hottest); i++ {
+		elephantPkts += hottest[i]
+	}
+	share := float64(elephantPkts) / n
+	if share < 0.7 || share > 0.9 {
+		t.Fatalf("elephant share = %.2f, want ~0.8", share)
+	}
+	// Churn: far more distinct flows must have appeared than the
+	// active window (mice died and were replaced).
+	if flows <= 4+32 {
+		t.Fatalf("no mouse churn: %d distinct flows seen", flows)
+	}
+	if g.Churned() == 0 {
+		t.Fatal("Churned() = 0")
 	}
 }

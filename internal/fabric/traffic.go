@@ -171,3 +171,87 @@ func (g *Generator) CopyBatch(into [][]byte, n int) [][]byte {
 
 // Len returns the number of distinct frames.
 func (g *Generator) Len() int { return len(g.frames) }
+
+// MixGenerator emits the long-lived/short-lived flow mix telemetry
+// planes face in production: a small set of heavy-hitter "elephant"
+// flows carrying most of the packets, over a churning population of
+// short-lived "mouse" flows — each mouse emits for a bounded window,
+// then a fresh 5-tuple replaces it. Frames are prebuilt (the mouse
+// population is a sliding window over a larger precomputed pool), so
+// Next stays allocation-free like the other generators.
+type MixGenerator struct {
+	elephants     *Generator
+	mice          [][]byte // full mouse pool; the active set slides over it
+	window        int      // active mice at any instant
+	start         int      // first active mouse
+	perWindow     int      // mouse frames emitted before the window slides
+	emitted       int
+	elephantShare float64
+	rng           *rand.Rand
+	churned       int
+}
+
+// NewMixGenerator builds a mix of `elephants` long-lived flows taking
+// elephantShare of the packets and `mice` concurrently active
+// short-lived flows, each living for roughly `mouseLife` of its own
+// packets before being replaced by a brand-new flow. The mouse pool
+// holds 8x the active window, so the mix replays ~8*mice distinct
+// short-lived flows before reusing a tuple.
+func NewMixGenerator(size, elephants, mice, mouseLife int, elephantShare float64, seed int64) *MixGenerator {
+	if elephants < 1 {
+		elephants = 1
+	}
+	if mice < 1 {
+		mice = 1
+	}
+	if mouseLife < 1 {
+		mouseLife = 16
+	}
+	if elephantShare <= 0 || elephantShare >= 1 {
+		elephantShare = 0.8
+	}
+	pool := NewUDPGenerator(size, 8*mice, seed+1)
+	return &MixGenerator{
+		elephants:     NewUDPGenerator(size, elephants, seed),
+		mice:          pool.frames,
+		window:        mice,
+		perWindow:     mouseLife * mice,
+		elephantShare: elephantShare,
+		rng:           rand.New(rand.NewSource(seed + 2)),
+	}
+}
+
+// Next returns the next frame: an elephant with probability
+// elephantShare, otherwise a random currently-active mouse. The
+// returned slice is shared; copy before mutating (CopyNext-style).
+func (g *MixGenerator) Next() []byte {
+	if g.rng.Float64() < g.elephantShare {
+		return g.elephants.Next()
+	}
+	g.emitted++
+	if g.emitted >= g.perWindow {
+		// Window expires: this generation of mice dies, fresh tuples
+		// become active.
+		g.emitted = 0
+		g.start = (g.start + g.window) % len(g.mice)
+		g.churned += g.window
+	}
+	i := (g.start + g.rng.Intn(g.window)) % len(g.mice)
+	return g.mice[i]
+}
+
+// NextBatch refills into with n frames of the mix, reusing capacity.
+func (g *MixGenerator) NextBatch(into [][]byte, n int) [][]byte {
+	into = into[:0]
+	for i := 0; i < n; i++ {
+		into = append(into, g.Next())
+	}
+	return into
+}
+
+// Churned returns how many short-lived flows have completed so far.
+func (g *MixGenerator) Churned() int { return g.churned }
+
+// DistinctFlows returns the total distinct 5-tuples the generator can
+// emit (elephants + mouse pool).
+func (g *MixGenerator) DistinctFlows() int { return g.elephants.Len() + len(g.mice) }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/harmless-sdn/harmless/internal/dataplane"
 	"github.com/harmless-sdn/harmless/internal/pkt"
+	"github.com/harmless-sdn/harmless/internal/telemetry"
 )
 
 // Batch dispatch: the amortized entry point of the datapath.
@@ -109,13 +110,18 @@ func (s *Switch) flushTx(tx *txContext) {
 }
 
 // dispatchState is the pooled scratch of one dispatch: the egress
-// context plus the per-batch classification arrays.
+// context plus the per-batch classification arrays. recs/outs carry
+// the batch's telemetry resolution (flow record and egress port per
+// frame) to the single ObserveBatch call at the end of the dispatch —
+// the zero-alloc batch-level hook, as opposed to a per-frame callback.
 type dispatchState struct {
 	tx    txContext
 	keys  []pkt.Key
 	mfs   []*microflow
 	skip  []bool
 	next  []int32
+	recs  []*telemetry.Record
+	outs  []uint32
 	heads [microflowShards]int32
 	one   [1][]byte // single-frame vector for the Receive wrapper
 }
@@ -126,6 +132,8 @@ func (st *dispatchState) grow(n int) {
 		st.mfs = make([]*microflow, n)
 		st.skip = make([]bool, n)
 		st.next = make([]int32, n)
+		st.recs = make([]*telemetry.Record, n)
+		st.outs = make([]uint32, n)
 	}
 }
 
@@ -218,19 +226,29 @@ func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState,
 		p.counters.RxPackets.Add(uint64(len(frames)))
 		p.counters.RxBytes.Add(bytes)
 	}
+	tel := s.telemetry.Load()
+	var now int64
+	if tel != nil {
+		now = s.clock.Now().UnixNano()
+	}
 	n := len(frames)
 	if n == 1 {
 		// One frame: the classic per-frame walk, minus the batch-probe
 		// bookkeeping.
 		v := dataplane.VerdictDropped
+		var rec *telemetry.Record
+		var out uint32
 		var key pkt.Key
 		if err := pkt.ExtractKey(frames[0], inPort, &key); err != nil {
 			s.drops.Inc()
 		} else {
-			v = s.classifyAndRun(&key, inPort, frames[0], &st.tx)
+			v, rec, out = s.classifyAndRun(&key, inPort, frames[0], tel, &st.tx)
 		}
 		if meta != nil {
 			meta[0].Verdict = v
+		}
+		if rec != nil {
+			tel.Observe(rec, len(frames[0]), out, now)
 		}
 		s.flushTx(&st.tx)
 		return
@@ -254,11 +272,17 @@ func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState,
 	} else {
 		clear(mfs)
 	}
+	recs, outs := st.recs[:n], st.outs[:n]
 	for i, f := range frames {
 		v := dataplane.VerdictDropped
+		recs[i] = nil
 		if !skip[i] {
 			if mf := mfs[i]; mf != nil {
 				mfs[i] = nil
+				if tel != nil {
+					recs[i] = mf.telRecord(tel, &keys[i])
+					outs[i] = mf.outPort
+				}
 				s.replayMicroflow(mf, inPort, f, &st.tx)
 				v = dataplane.VerdictCacheHit
 			} else {
@@ -266,35 +290,56 @@ func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState,
 				// (the exact miss/invalidation accounting, and an entry
 				// installed by an earlier frame of this very batch can
 				// already hit) before falling back to the pipeline walk.
-				v = s.classifyAndRun(&keys[i], inPort, f, &st.tx)
+				v, recs[i], outs[i] = s.classifyAndRun(&keys[i], inPort, f, tel, &st.tx)
 			}
 		}
 		if meta != nil {
 			meta[i].Verdict = v
 		}
 	}
+	if tel != nil {
+		tel.ObserveBatch(frames, recs, outs, now)
+		clear(recs) // drop record refs: dispatchState is pooled
+	}
 	s.flushTx(&st.tx)
 }
 
 // classifyAndRun is the per-frame decision shared by every entry
 // point: serve from the microflow cache, or walk the pipeline and
-// record a new megaflow. The returned verdict reports which way the
-// frame went.
-func (s *Switch) classifyAndRun(key *pkt.Key, inPort uint32, frame []byte, tx *txContext) dataplane.Verdict {
+// record a new megaflow. It returns the verdict plus the frame's
+// telemetry resolution — the flow record to account it against (nil
+// when tel is nil or the frame was not classified) and the resolved
+// egress port — which the dispatch accumulates for the batch-level
+// ObserveBatch call.
+func (s *Switch) classifyAndRun(key *pkt.Key, inPort uint32, frame []byte, tel *telemetry.Table, tx *txContext) (dataplane.Verdict, *telemetry.Record, uint32) {
 	c := s.cache
 	if c == nil {
+		var trec *telemetry.Record
+		if tel != nil {
+			trec = tel.Lookup(key)
+		}
 		s.runPipelineKeyed(key, inPort, frame, 0, nil, tx)
-		return dataplane.VerdictSlowPath
+		return dataplane.VerdictSlowPath, trec, 0
 	}
 	if mf := c.lookup(key); mf != nil {
+		var trec *telemetry.Record
+		if tel != nil {
+			trec = mf.telRecord(tel, key)
+		}
 		s.replayMicroflow(mf, inPort, frame, tx)
-		return dataplane.VerdictCacheHit
+		return dataplane.VerdictCacheHit, trec, mf.outPort
 	}
 	// Read the group revision before the walk so a group-mod racing
 	// the recording leaves it stale-by-revision, like the table revs.
 	groupRev := s.groups.Version()
 	rec := &microflow{}
 	s.runPipelineKeyed(key, inPort, frame, 0, rec, tx)
+	rec.resolveOutPort()
+	var trec *telemetry.Record
+	if tel != nil {
+		trec = tel.Lookup(key)
+		rec.tel.Store(trec)
+	}
 	if !rec.uncacheable {
 		if rec.usesGroups() {
 			rec.groups = s.groups
@@ -302,5 +347,5 @@ func (s *Switch) classifyAndRun(key *pkt.Key, inPort uint32, frame []byte, tx *t
 		}
 		c.insert(key, rec)
 	}
-	return dataplane.VerdictSlowPath
+	return dataplane.VerdictSlowPath, trec, rec.outPort
 }

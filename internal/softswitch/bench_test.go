@@ -19,6 +19,7 @@ import (
 	"github.com/harmless-sdn/harmless/internal/openflow"
 	"github.com/harmless-sdn/harmless/internal/pkt"
 	"github.com/harmless-sdn/harmless/internal/softswitch"
+	"github.com/harmless-sdn/harmless/internal/telemetry"
 )
 
 // benchSwitch builds a switch with a realistic ruleset: table 0 holds
@@ -158,5 +159,38 @@ func BenchmarkManyFlows(b *testing.B) {
 				drive(b, benchSwitch(b, opts...), w.gen())
 			})
 		}
+	}
+}
+
+// benchDiscard swallows egress so the telemetry-overhead comparison
+// measures nothing but the datapath (and keeps the cache-hit batch
+// path at 0 allocs/op, which the baseline asserts).
+type benchDiscard struct{ n int }
+
+func (d *benchDiscard) Transmit([]byte)          { d.n++ }
+func (d *benchDiscard) TransmitBatch(f [][]byte) { d.n += len(f) }
+
+// BenchmarkTelemetryOverhead measures the flow-telemetry tax on the
+// cache-hit batch path: telemetry off, accounting on, and accounting
+// plus the 1-in-64 packet sampler (the acceptance configuration —
+// expected within a few percent of off, 0 allocs/op).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	modes := []struct {
+		name string
+		cfg  *telemetry.Config
+	}{
+		{"off", nil},
+		{"on", &telemetry.Config{}},
+		{"sample64", &telemetry.Config{SampleRate: 64}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			sw := benchSwitch(b)
+			sw.AttachPort(2, "out", &benchDiscard{})
+			if mode.cfg != nil {
+				sw.SetTelemetry(telemetry.NewTable(*mode.cfg))
+			}
+			driveBatch(b, sw, fabric.NewUDPGenerator(64, 1024, 7), 256)
+		})
 	}
 }

@@ -2,11 +2,13 @@ package softswitch
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/harmless-sdn/harmless/internal/flowtable"
 	"github.com/harmless-sdn/harmless/internal/openflow"
 	"github.com/harmless-sdn/harmless/internal/pkt"
 	"github.com/harmless-sdn/harmless/internal/stats"
+	"github.com/harmless-sdn/harmless/internal/telemetry"
 )
 
 // Microflow cache: the OVS-style exact-match fast path in front of the
@@ -82,6 +84,18 @@ type microflow struct {
 	groups   *flowtable.GroupTable // non-nil when the program executes a group
 	groupRev uint64
 
+	// outPort is the first concrete egress port the recorded program
+	// outputs to (0 = none/reserved-only) — the telemetry plane's
+	// egressInterface, resolved once at record time so cache hits
+	// never re-scan the program.
+	outPort uint32
+
+	// tel caches the flow's telemetry record so a cache hit accounts
+	// telemetry with a pointer chase instead of a map lookup. Lazily
+	// resolved; atomic because inline (non-pool) datapaths may race
+	// the first touch.
+	tel atomic.Pointer[telemetry.Record]
+
 	// uncacheable marks recorder state that must not be installed: the
 	// walk ended in a table miss (a later flow-add must see the key
 	// again) or in a per-packet drop mid-walk (the rest of the program
@@ -101,6 +115,34 @@ func (mf *microflow) valid() bool {
 		return false
 	}
 	return true
+}
+
+// resolveOutPort scans the recorded program for the first OUTPUT to a
+// concrete datapath port and remembers it as the flow's egress
+// interface for telemetry. Reserved ports (controller, flood, ...)
+// stay 0: the telemetry record then reports "no single egress".
+func (mf *microflow) resolveOutPort() {
+	for i := range mf.ops {
+		for _, a := range mf.ops[i].acts {
+			if out, ok := a.(*openflow.ActionOutput); ok && out.Port < openflow.PortMax {
+				mf.outPort = out.Port
+				return
+			}
+		}
+	}
+}
+
+// telRecord returns the flow's telemetry record, resolving and caching
+// it on first touch. A cached pointer minted by a different table
+// (SetTelemetry swapped the plane out mid-flight) is re-resolved, so
+// a stale record is never indexed into the wrong table's shards.
+func (mf *microflow) telRecord(t *telemetry.Table, key *pkt.Key) *telemetry.Record {
+	if rec := mf.tel.Load(); t.Owns(rec) {
+		return rec
+	}
+	rec := t.Lookup(key)
+	mf.tel.Store(rec)
+	return rec
 }
 
 // usesGroups reports whether any recorded action executes a group.

@@ -51,11 +51,13 @@ import (
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/harmless-sdn/harmless/internal/dataplane"
 	"github.com/harmless-sdn/harmless/internal/pkt"
 	"github.com/harmless-sdn/harmless/internal/softswitch"
 	"github.com/harmless-sdn/harmless/internal/stats"
+	"github.com/harmless-sdn/harmless/internal/telemetry"
 )
 
 // Config parameterizes a Pool. The zero value picks sensible defaults.
@@ -79,6 +81,16 @@ type Config struct {
 	// still intact). Test hook — e.g. the flow-affinity property test;
 	// leave nil in production, it is on the hot path.
 	Observer func(worker int, b *dataplane.Batch)
+	// Telemetry, when non-nil, is the flow-telemetry table attached to
+	// the switch this pool drives (also SetTelemetry it on the switch;
+	// the pool does not do that). The pool contributes the runtime
+	// halves of the telemetry contract: workers run timer sweeps when
+	// they go idle — so flows keep expiring while the datapath is
+	// quiet — and Stop flushes every remaining record after the final
+	// drain, so a stopped pool leaves no unexported counts behind.
+	// Size the table with Shards == Workers: the RSS flow pinning then
+	// makes every shard effectively single-writer.
+	Telemetry *telemetry.Table
 }
 
 // PoolStats is a point-in-time snapshot of pool (or single-worker)
@@ -273,6 +285,12 @@ func (p *Pool) Stop() {
 			// frame (ring non-empty) before it bumps `accepted`, so
 			// either the counters disagree or the ring shows the frame.
 			if p.frames.Load() >= p.accepted.Load() && p.ringsEmpty() {
+				// Every admitted frame has been observed; flush the
+				// remaining telemetry records so exported totals catch
+				// up with the datapath counters before Stop returns.
+				if t := p.cfg.Telemetry; t != nil {
+					t.FlushAll(time.Now().UnixNano())
+				}
 				return
 			}
 			stdruntime.Gosched()
@@ -321,6 +339,14 @@ func (p *Pool) run(w *worker) {
 		case idle <= p.cfg.SpinPolls+p.cfg.YieldPolls:
 			stdruntime.Gosched()
 		default:
+			// About to park: run the telemetry timer sweep first. A
+			// loaded worker sweeps on its batch boundaries; an idle one
+			// would otherwise never expire its flows. The sweep is
+			// mutex-guarded per shard, so sweeping another worker's
+			// shard here is merely redundant, never racy.
+			if t := p.cfg.Telemetry; t != nil {
+				t.Sweep(time.Now().UnixNano())
+			}
 			// Park. Publish the flag first, then re-check the ring: a
 			// producer that pushed after our empty poll must now see
 			// parked==true and send the wakeup (seq-cst total order).

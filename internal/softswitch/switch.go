@@ -35,6 +35,7 @@ import (
 	"github.com/harmless-sdn/harmless/internal/openflow"
 	"github.com/harmless-sdn/harmless/internal/pkt"
 	"github.com/harmless-sdn/harmless/internal/stats"
+	"github.com/harmless-sdn/harmless/internal/telemetry"
 )
 
 // DefaultNumTables is the pipeline depth advertised to controllers.
@@ -68,6 +69,11 @@ type Switch struct {
 
 	cacheSize int // microflow-cache capacity; <=0 disables
 	cache     *microflowCache
+
+	// telemetry, when non-nil, receives per-flow accounting from the
+	// batch dispatch path. Atomic so it can be attached to a running
+	// switch (harmlessd wires it after deployment build).
+	telemetry atomic.Pointer[telemetry.Table]
 
 	buffers *bufferPool
 
@@ -108,6 +114,12 @@ func WithMicroflowCache(on bool) Option {
 // WithMicroflowCacheSize bounds the microflow cache to roughly n
 // megaflow entries (n <= 0 disables the cache).
 func WithMicroflowCacheSize(n int) Option { return func(s *Switch) { s.cacheSize = n } }
+
+// WithTelemetry attaches a flow-telemetry table at construction time
+// (SetTelemetry attaches one to a running switch).
+func WithTelemetry(t *telemetry.Table) Option {
+	return func(s *Switch) { s.telemetry.Store(t) }
+}
 
 // WithNumTables sets the pipeline depth.
 func WithNumTables(n int) Option {
@@ -175,6 +187,14 @@ func (s *Switch) PacketIns() uint64 { return s.pktIns.Load() }
 // Drops returns the count of packets dropped by the pipeline (table
 // miss or empty action set).
 func (s *Switch) Drops() uint64 { return s.drops.Load() }
+
+// SetTelemetry attaches (or, with nil, detaches) a flow-telemetry
+// table. Frames dispatched after the store are accounted against it;
+// flow records resolve lazily, so attaching mid-flight is safe.
+func (s *Switch) SetTelemetry(t *telemetry.Table) { s.telemetry.Store(t) }
+
+// Telemetry returns the attached flow-telemetry table (nil if none).
+func (s *Switch) Telemetry() *telemetry.Table { return s.telemetry.Load() }
 
 // CacheStats exposes the microflow-cache counters, or nil when the
 // cache is disabled.
@@ -331,12 +351,33 @@ func (s *Switch) ApplyFlowMod(fm *openflow.FlowMod) ([]flowtable.Removed, error)
 // the ones requesting flow-removed notification. The OF agent calls
 // this periodically; tests call it directly with a manual clock.
 func (s *Switch) SweepExpired() []flowtable.Removed {
-	var notify []flowtable.Removed
+	var notify, expired []flowtable.Removed
 	for _, t := range s.tables {
-		for _, r := range t.ExpireEntries() {
+		removed := t.ExpireEntries()
+		expired = append(expired, removed...)
+		for _, r := range removed {
 			if r.Entry.Flags&openflow.FlowFlagSendFlowRem != 0 {
 				notify = append(notify, r)
 			}
+		}
+	}
+	// A flow-table expiry ends the flows the entries carried: flush
+	// exactly those flows' telemetry records so the finals (and the
+	// byte/packet deltas the microflow cache accumulated since the
+	// last export) reach the exporter now — exported totals stay in
+	// step with the datapath counters instead of trailing by an idle
+	// timeout, and unrelated flows keep their windows.
+	if len(expired) > 0 {
+		if tel := s.telemetry.Load(); tel != nil {
+			tel.FlushWhere(func(fk telemetry.FlowKey) bool {
+				k := fk.ToPacketKey()
+				for _, r := range expired {
+					if r.Entry.Match.Matches(&k) {
+						return true
+					}
+				}
+				return false
+			}, s.clock.Now().UnixNano())
 		}
 	}
 	if s.agent != nil && len(notify) > 0 {

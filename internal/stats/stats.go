@@ -133,6 +133,30 @@ func (c *CacheCounters) String() string {
 		c.Inserts.Load(), c.Invalidations.Load(), c.Evictions.Load())
 }
 
+// TelemetryCounters aggregates the statistics of the flow-telemetry
+// plane: flow-record churn in the datapath shards, the shard-drain
+// ring between the shards and the aggregator, and the sFlow-style
+// packet sampler. All fields are atomic so the shard sweep path stays
+// allocation- and lock-free beyond the shard's own mutex.
+type TelemetryCounters struct {
+	FlowsCreated  Counter // records created by first-seen packets
+	FlowsExpired  Counter // records removed by the idle-timeout sweep
+	FlowsEvicted  Counter // records displaced by shard capacity pressure
+	RecordsQueued Counter // record snapshots pushed onto the drain ring
+	RecordsLost   Counter // snapshots dropped because the drain ring was full
+	SamplesQueued Counter // packet samples pushed onto the drain ring
+	SamplesLost   Counter // samples dropped because the drain ring was full
+	Sweeps        Counter // shard timer sweeps executed
+}
+
+// String summarizes the counters.
+func (t *TelemetryCounters) String() string {
+	return fmt.Sprintf("flows=%d expired=%d evicted=%d records=%d lost=%d samples=%d/%d sweeps=%d",
+		t.FlowsCreated.Load(), t.FlowsExpired.Load(), t.FlowsEvicted.Load(),
+		t.RecordsQueued.Load(), t.RecordsLost.Load(),
+		t.SamplesQueued.Load(), t.SamplesLost.Load(), t.Sweeps.Load())
+}
+
 // histogram bucket layout: 64 log2 buckets of 16 linear sub-buckets
 // each covers the full uint64 nanosecond range with <6.25% relative
 // error, in the spirit of HdrHistogram.

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -263,5 +265,79 @@ func BenchmarkHistogramRecord(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Record(int64(i))
+	}
+}
+
+// TestShardedCounterMergeUnderConcurrentAdd reads (merges) the counter
+// while the writers are still adding: every observed value must be
+// monotonically non-decreasing and never exceed the amount already
+// added; the final merge must be exact. This is the contract the
+// telemetry drains rely on when they snapshot per-worker shards while
+// the workers keep counting.
+func TestShardedCounterMergeUnderConcurrentAdd(t *testing.T) {
+	const writers = 4
+	perWriter := 20000
+	if testing.Short() {
+		perWriter = 2000
+	}
+	s := NewShardedCounter(writers)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.Shard(w)
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+			}
+		}(w)
+	}
+	var monoErr error
+	merges := 0
+	go func() {
+		defer close(stop)
+		var last uint64
+		for {
+			got := s.Load()
+			if got < last {
+				monoErr = fmt.Errorf("merge went backwards: %d after %d", got, last)
+				return
+			}
+			if got > uint64(writers*perWriter) {
+				monoErr = fmt.Errorf("merge overshot: %d > %d", got, writers*perWriter)
+				return
+			}
+			last = got
+			merges++
+			if got == uint64(writers*perWriter) {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-stop
+	if monoErr != nil {
+		t.Fatal(monoErr)
+	}
+	if merges == 0 {
+		t.Fatal("reader never merged mid-add")
+	}
+	if got := s.Load(); got != uint64(writers*perWriter) {
+		t.Fatalf("final merge = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	var c TelemetryCounters
+	c.FlowsCreated.Add(3)
+	c.RecordsQueued.Add(2)
+	c.RecordsLost.Inc()
+	c.Sweeps.Inc()
+	s := c.String()
+	for _, want := range []string{"flows=3", "records=2", "lost=1", "sweeps=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
 	}
 }

@@ -1,0 +1,389 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+// mkKey builds a distinct extracted packet key for flow i.
+func mkKey(i int) pkt.Key {
+	return pkt.Key{
+		InPort:  1,
+		EthSrc:  pkt.MAC{0x02, 0x10, 0, 0, byte(i >> 8), byte(i)},
+		EthDst:  pkt.MAC{0x02, 0x20, 0, 0, byte(i >> 8), byte(i)},
+		EthType: pkt.EtherTypeIPv4,
+		HasIPv4: true,
+		IPProto: pkt.IPProtoUDP,
+		IPSrc:   pkt.IPv4{10, 1, byte(i >> 8), byte(i)},
+		IPDst:   pkt.IPv4{10, 2, 0, 1},
+		HasL4:   true,
+		L4Src:   uint16(1024 + i),
+		L4Dst:   80,
+	}
+}
+
+// drainRing empties the table's export ring, returning flow snapshots
+// and samples separately.
+func drainRing(t *Table) (flows, samples []Export) {
+	for {
+		e, ok := t.Ring().Pop()
+		if !ok {
+			return
+		}
+		if e.Kind == ExportSample {
+			samples = append(samples, e)
+		} else {
+			flows = append(flows, e)
+		}
+	}
+}
+
+func TestKeyFromPacket(t *testing.T) {
+	k := mkKey(3)
+	fk := KeyFromPacket(&k)
+	if fk.IPSrc != k.IPSrc || fk.L4Src != k.L4Src || fk.Proto != pkt.IPProtoUDP || fk.InPort != 1 {
+		t.Fatalf("bad key mapping: %+v", fk)
+	}
+	icmp := pkt.Key{InPort: 2, EthType: pkt.EtherTypeIPv4, HasIPv4: true, IPProto: pkt.IPProtoICMP,
+		HasICMP: true, ICMPType: 8, ICMPCode: 0}
+	fi := KeyFromPacket(&icmp)
+	if fi.L4Dst != 8<<8 {
+		t.Fatalf("ICMP type/code not folded into L4Dst: %d", fi.L4Dst)
+	}
+}
+
+func TestObserveAccounting(t *testing.T) {
+	tab := NewTable(Config{})
+	k := mkKey(1)
+	rec := tab.Lookup(&k)
+	if rec == nil {
+		t.Fatal("Lookup returned nil")
+	}
+	if again := tab.Lookup(&k); again != rec {
+		t.Fatal("second Lookup returned a different record")
+	}
+	now := time.Now().UnixNano()
+	tab.Observe(rec, 100, 2, now)
+	tab.Observe(rec, 50, 2, now+1)
+	snaps := tab.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshot len = %d", len(snaps))
+	}
+	s := snaps[0]
+	if s.Packets != 2 || s.Bytes != 150 || s.OutPort != 2 || s.First != now || s.Last != now+1 {
+		t.Fatalf("bad snapshot: %+v", s)
+	}
+	if c := tab.Counters(); c.FlowsCreated.Load() != 1 {
+		t.Fatalf("FlowsCreated = %d", c.FlowsCreated.Load())
+	}
+}
+
+func TestIdleExpiryAndRevival(t *testing.T) {
+	tab := NewTable(Config{IdleTimeout: time.Second, SweepInterval: time.Millisecond})
+	k := mkKey(1)
+	rec := tab.Lookup(&k)
+	tab.Observe(rec, 64, 0, 1e9)
+	// Idle for > IdleTimeout: the sweep exports a final record and
+	// forgets the flow.
+	tab.Sweep(3e9)
+	flows, _ := drainRing(tab)
+	if len(flows) != 1 || flows[0].EndReason != EndIdle || flows[0].Packets != 1 {
+		t.Fatalf("idle export = %+v", flows)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("table len = %d after idle expiry", tab.Len())
+	}
+	if tab.Counters().FlowsExpired.Load() != 1 {
+		t.Fatal("FlowsExpired not counted")
+	}
+	// The datapath still holds rec (hung off a cache entry): its next
+	// packet revives the flow with a fresh window; nothing is lost.
+	tab.Observe(rec, 64, 0, 4e9)
+	if tab.Len() != 1 {
+		t.Fatal("record not revived")
+	}
+	snaps := tab.Snapshot()
+	if snaps[0].Packets != 1 || snaps[0].First != 4e9 {
+		t.Fatalf("revived window wrong: %+v", snaps[0])
+	}
+}
+
+func TestActiveTimeoutDelta(t *testing.T) {
+	tab := NewTable(Config{ActiveTimeout: time.Second, IdleTimeout: time.Hour, SweepInterval: time.Millisecond})
+	k := mkKey(1)
+	rec := tab.Lookup(&k)
+	tab.Observe(rec, 100, 0, 1e9)
+	tab.Observe(rec, 100, 0, 2e9)
+	tab.Sweep(2_500_000_000) // window open 1.5s > active timeout
+	flows, _ := drainRing(tab)
+	if len(flows) != 1 || flows[0].EndReason != EndActive || flows[0].Packets != 2 || flows[0].Bytes != 200 {
+		t.Fatalf("active export = %+v", flows)
+	}
+	if tab.Len() != 1 {
+		t.Fatal("active export must keep the flow")
+	}
+	// Next window accumulates independently; totals add up.
+	tab.Observe(rec, 100, 0, 3e9)
+	tab.FlushAll(4e9)
+	flows, _ = drainRing(tab)
+	if len(flows) != 1 || flows[0].Packets != 1 || flows[0].First != 3e9 {
+		t.Fatalf("second window = %+v", flows)
+	}
+}
+
+func TestEvictionExportsVictim(t *testing.T) {
+	tab := NewTable(Config{MaxFlows: 2})
+	var total uint64
+	for i := 0; i < 3; i++ {
+		k := mkKey(i)
+		rec := tab.Lookup(&k)
+		tab.Observe(rec, 64, 0, int64(i+1))
+		total += 64
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d, want cap 2", tab.Len())
+	}
+	if tab.Counters().FlowsEvicted.Load() != 1 {
+		t.Fatalf("FlowsEvicted = %d", tab.Counters().FlowsEvicted.Load())
+	}
+	// Exactness: exported + live == observed.
+	flows, _ := drainRing(tab)
+	var exported uint64
+	for _, e := range flows {
+		exported += e.Bytes
+	}
+	var live uint64
+	for _, s := range tab.Snapshot() {
+		live += s.Bytes
+	}
+	if exported+live != total {
+		t.Fatalf("exported %d + live %d != observed %d", exported, live, total)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	tab := NewTable(Config{SampleRate: 4})
+	k := mkKey(1)
+	rec := tab.Lookup(&k)
+	for i := 0; i < 16; i++ {
+		tab.Observe(rec, 64, 3, int64(i+1))
+	}
+	_, samples := drainRing(tab)
+	if len(samples) != 4 {
+		t.Fatalf("samples = %d, want 4 (1-in-4 of 16)", len(samples))
+	}
+	if samples[0].Packets != 1 || samples[0].Bytes != 64 || samples[0].Key != rec.Key {
+		t.Fatalf("bad sample: %+v", samples[0])
+	}
+	if tab.Counters().SamplesQueued.Load() != 4 {
+		t.Fatal("SamplesQueued miscounted")
+	}
+}
+
+func TestRingOverflowCounted(t *testing.T) {
+	tab := NewTable(Config{RingSize: 2})
+	for i := 0; i < 8; i++ {
+		k := mkKey(i)
+		tab.Observe(tab.Lookup(&k), 64, 0, int64(i+1))
+	}
+	tab.FlushAll(100)
+	c := tab.Counters()
+	if got := c.RecordsQueued.Load(); got != 2 {
+		t.Fatalf("RecordsQueued = %d, want 2 (ring cap)", got)
+	}
+	if got := c.RecordsLost.Load(); got != 6 {
+		t.Fatalf("RecordsLost = %d, want 6", got)
+	}
+}
+
+func TestSnapshotTopTalkersOrder(t *testing.T) {
+	tab := NewTable(Config{Shards: 4})
+	for i := 0; i < 8; i++ {
+		k := mkKey(i)
+		rec := tab.Lookup(&k)
+		tab.Observe(rec, 64*(i+1), 0, int64(i+1))
+	}
+	snaps := tab.Snapshot()
+	if len(snaps) != 8 {
+		t.Fatalf("len = %d", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Bytes > snaps[i-1].Bytes {
+			t.Fatalf("snapshot not sorted by bytes desc at %d", i)
+		}
+	}
+}
+
+func TestObserveBatchMultiShard(t *testing.T) {
+	tab := NewTable(Config{Shards: 4})
+	const n = 64
+	frames := make([][]byte, n)
+	recs := make([]*Record, n)
+	outs := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		frames[i] = make([]byte, 60+i)
+		k := mkKey(i % 8)
+		recs[i] = tab.Lookup(&k)
+		outs[i] = 2
+	}
+	// A nil rec (unclassified frame) must be skipped.
+	recs[5] = nil
+	tab.ObserveBatch(frames, recs, outs, 1e9)
+	var pkts, bytes uint64
+	for _, s := range tab.Snapshot() {
+		pkts += s.Packets
+		bytes += s.Bytes
+	}
+	var want uint64
+	for i := 0; i < n; i++ {
+		if i == 5 {
+			continue
+		}
+		want += uint64(60 + i)
+	}
+	if pkts != n-1 || bytes != want {
+		t.Fatalf("pkts=%d bytes=%d, want %d/%d", pkts, bytes, n-1, want)
+	}
+}
+
+// TestConcurrentObserveFlushSnapshot exercises the shard mutexes under
+// the race detector: observers on distinct flows, a flusher, and a
+// snapshotter all running concurrently.
+func TestConcurrentObserveFlushSnapshot(t *testing.T) {
+	iters := 2000
+	if testing.Short() {
+		iters = 200
+	}
+	tab := NewTable(Config{Shards: 4, SampleRate: 8, RingSize: 1 << 16})
+	done := make(chan uint64)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			var sent uint64
+			for i := 0; i < iters; i++ {
+				k := mkKey(g*16 + i%16)
+				rec := tab.Lookup(&k)
+				tab.Observe(rec, 64, 0, int64(i+1))
+				sent++
+			}
+			done <- sent
+		}(g)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tab.FlushAll(50)
+				tab.Snapshot()
+				tab.Sweep(60)
+			}
+		}
+	}()
+	var total uint64
+	for g := 0; g < 4; g++ {
+		total += <-done
+	}
+	close(stop)
+	tab.FlushAll(100)
+	flows, _ := drainRing(tab)
+	var exported uint64
+	for _, e := range flows {
+		exported += e.Packets
+	}
+	lost := tab.Counters().RecordsLost.Load()
+	if lost != 0 {
+		t.Fatalf("ring overflow (%d lost) — ring sized too small for the test", lost)
+	}
+	if exported != total {
+		t.Fatalf("exported %d packets, observed %d", exported, total)
+	}
+}
+
+// TestDeadRecordDoesNotOrphanLiveSuccessor: when a dead record's flow
+// already has a fresh live record (slow-path Lookup re-created it),
+// observing the stale pointer must account to the live record instead
+// of re-installing the dead one over it — otherwise the successor's
+// counts would never be exported again.
+func TestDeadRecordDoesNotOrphanLiveSuccessor(t *testing.T) {
+	tab := NewTable(Config{MaxFlows: 1})
+	k1, k2 := mkKey(1), mkKey(2)
+	rec1 := tab.Lookup(&k1)
+	tab.Observe(rec1, 64, 0, 1)
+	// Capacity eviction kills rec1 (its delta is exported)...
+	tab.Lookup(&k2)
+	// ...and a slow-path lookup re-creates flow 1 with a fresh record.
+	rec1b := tab.Lookup(&k1)
+	if rec1b == rec1 {
+		t.Fatal("expected a fresh record after eviction")
+	}
+	tab.Observe(rec1b, 64, 0, 2)
+	// The datapath still holds the stale pointer: its packet must land
+	// on the live record.
+	tab.Observe(rec1, 64, 0, 3)
+	tab.FlushAll(4)
+	flows, _ := drainRing(tab)
+	var total uint64
+	for _, e := range flows {
+		total += e.Packets
+	}
+	if total != 3 {
+		t.Fatalf("exported %d packets, observed 3 — a record was orphaned", total)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("%d records still live after FlushAll", tab.Len())
+	}
+}
+
+// TestOwnsAndTableSwap: records are table-scoped; a record minted by
+// one table must not pass another table's ownership check.
+func TestOwnsAndTableSwap(t *testing.T) {
+	a := NewTable(Config{Shards: 4})
+	b := NewTable(Config{Shards: 1})
+	k := mkKey(1)
+	rec := a.Lookup(&k)
+	if !a.Owns(rec) {
+		t.Fatal("table does not own its own record")
+	}
+	if b.Owns(rec) || a.Owns(nil) {
+		t.Fatal("foreign/nil record passed the ownership check")
+	}
+}
+
+// TestFlushWhereSelective flushes only the matching flows.
+func TestFlushWhereSelective(t *testing.T) {
+	tab := NewTable(Config{})
+	for i := 0; i < 4; i++ {
+		k := mkKey(i)
+		tab.Observe(tab.Lookup(&k), 64, 0, int64(i+1))
+	}
+	tab.FlushWhere(func(fk FlowKey) bool { return fk.L4Src == 1024+1 }, 10)
+	flows, _ := drainRing(tab)
+	if len(flows) != 1 || flows[0].Key.L4Src != 1025 {
+		t.Fatalf("selective flush exported %+v", flows)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("live flows = %d, want 3 untouched", tab.Len())
+	}
+}
+
+// TestKeyRoundTrip: ToPacketKey inverts KeyFromPacket for the shapes
+// the datapath produces.
+func TestKeyRoundTrip(t *testing.T) {
+	udp := mkKey(5)
+	icmp := pkt.Key{InPort: 2, EthSrc: udp.EthSrc, EthDst: udp.EthDst,
+		EthType: pkt.EtherTypeIPv4, HasIPv4: true, IPProto: pkt.IPProtoICMP,
+		IPSrc: udp.IPSrc, IPDst: udp.IPDst, HasICMP: true, ICMPType: 8, ICMPCode: 0}
+	vlan := udp
+	vlan.HasVLAN = true
+	vlan.VLANID = 101
+	for _, k := range []pkt.Key{udp, icmp, vlan} {
+		back := KeyFromPacket(&k).ToPacketKey()
+		if back != k {
+			t.Fatalf("round trip lost fields:\n in  %+v\n out %+v", k, back)
+		}
+	}
+}
