@@ -10,7 +10,7 @@ BENCH_PKGS    := ./internal/softswitch ./internal/softswitch/runtime
 
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all lint test bench bench-baseline ci
+.PHONY: all lint fuzz-smoke test bench bench-baseline ci
 
 all: ci
 
@@ -22,6 +22,15 @@ lint:
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+	$(MAKE) fuzz-smoke
+
+# ~10s per openflow fuzz target (keep in sync with the lint job in
+# .github/workflows/ci.yml): catches wire decoders that panic on
+# near-valid frames as soon as a new codec lands.
+fuzz-smoke:
+	@for target in $$($(GO) test -list 'Fuzz.*' ./internal/openflow | grep '^Fuzz'); do \
+		$(GO) test -run "^$$target$$" -fuzz "^$$target$$" -fuzztime 10s ./internal/openflow || exit 1; \
+	done
 
 test:
 	$(GO) build ./...

@@ -4,8 +4,11 @@
 //
 //   - the legacy switch's vendor CLI on -cli-listen (telnet-style),
 //   - its SNMP agent on -snmp-listen (SNMPv2c, community "public"),
-//   - SS_2's OpenFlow channel towards -controller (e.g. an ofctl
-//     listener), or an in-process learning controller when empty.
+//   - SS_2's OpenFlow channels towards -controllers (comma-separated
+//     endpoints, each dialed actively with exponential-backoff redial
+//     and served concurrently under OF1.3 role arbitration), and/or a
+//     passive listener on -of-listen controllers can connect to; with
+//     neither, an in-process learning controller attaches.
 //
 // With -oneshot the daemon verifies end-to-end connectivity through
 // the migrated switch (hosts ping each other), prints the evidence,
@@ -15,15 +18,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/harmless-sdn/harmless/internal/controller"
 	"github.com/harmless-sdn/harmless/internal/controller/apps"
+	"github.com/harmless-sdn/harmless/internal/controlplane"
 	"github.com/harmless-sdn/harmless/internal/fabric"
 	"github.com/harmless-sdn/harmless/internal/harmless"
 	"github.com/harmless-sdn/harmless/internal/legacy"
@@ -38,7 +44,9 @@ func main() {
 	dialectName := flag.String("dialect", "ciscoish", "legacy CLI dialect: ciscoish|aristaish")
 	cliListen := flag.String("cli-listen", "", "expose the legacy switch CLI on this TCP address (empty = off)")
 	snmpListen := flag.String("snmp-listen", "", "expose the legacy switch SNMP agent on this UDP address (empty = off)")
-	controllerAddr := flag.String("controller", "", "external OpenFlow controller address (empty = in-process learning switch)")
+	controllerAddr := flag.String("controller", "", "one more external OpenFlow controller address (legacy flag, merged with -controllers)")
+	controllersFlag := flag.String("controllers", "", "comma-separated external OpenFlow controller addresses, e.g. host1:6653,host2:6653 (empty = in-process learning switch)")
+	ofListen := flag.String("of-listen", "", "accept OpenFlow controller connections on this TCP address (passive mode, e.g. for ofctl dialing in)")
 	oneshot := flag.Bool("oneshot", false, "run the connectivity demo and exit")
 	statsEvery := flag.Duration("stats", 10*time.Second, "status print interval (0 = off)")
 	asyncLinks := flag.Bool("async-links", false, "queued (async) netem links with vectored rx delivery instead of synchronous in-line calls")
@@ -54,6 +62,15 @@ func main() {
 		dialect = legacy.DialectAristaish
 	}
 
+	// Collect the external controller endpoints: the -controllers list
+	// merged with the legacy single-address -controller flag.
+	var ctrlAddrs []string
+	for _, a := range strings.Split(*controllersFlag+","+*controllerAddr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			ctrlAddrs = append(ctrlAddrs, a)
+		}
+	}
+
 	cfg := fabric.DeployConfig{
 		NumPorts: *ports,
 		Dialect:  dialect,
@@ -62,7 +79,18 @@ func main() {
 			RxBatch: *rxBatch,
 		},
 	}
-	if *controllerAddr == "" {
+	// Channel lifecycle diagnostics (dial failures, backoff, dead
+	// peers) go to stderr — a daemon silently redialing a typoed
+	// controller address forever would be undebuggable.
+	cpCfg := controlplane.Config{Logger: log.New(os.Stderr, "harmlessd: ", log.LstdFlags)}
+	if len(ctrlAddrs) > 0 || *ofListen != "" {
+		cfg.SweepInterval = time.Second
+		cfg.ControlPlane = cpCfg
+	}
+	for _, a := range ctrlAddrs {
+		cfg.Controllers = append(cfg.Controllers, controlplane.Endpoint{Addr: a})
+	}
+	if len(ctrlAddrs) == 0 && *ofListen == "" {
 		cfg.Apps = []controller.App{&apps.Learning{Table: 0}}
 	}
 	d, err := fabric.BuildDeployment(cfg)
@@ -71,14 +99,22 @@ func main() {
 	}
 	defer d.Close()
 
-	if *controllerAddr != "" {
-		conn, err := net.Dial("tcp", *controllerAddr)
+	if len(ctrlAddrs) > 0 {
+		fmt.Printf("harmlessd: SS_2 dialing controllers %v (backoff redial, role arbitration)\n", ctrlAddrs)
+	}
+	if *ofListen != "" {
+		l, err := net.Listen("tcp", *ofListen)
 		if err != nil {
-			fatal("controller %s: %v", *controllerAddr, err)
+			fatal("of-listen: %v", err)
 		}
-		d.S4.ConnectController(conn, time.Second)
-		fmt.Printf("harmlessd: SS_2 connected to controller %s\n", *controllerAddr)
-	} else {
+		defer l.Close()
+		if d.S4.Agent() == nil {
+			d.S4.ConnectControllers(nil, cpCfg, time.Second)
+		}
+		d.S4.Agent().Listen(l)
+		fmt.Printf("harmlessd: SS_2 accepting OpenFlow controllers on %s\n", l.Addr())
+	}
+	if len(ctrlAddrs) == 0 && *ofListen == "" {
 		if err := d.WaitConnected(5 * time.Second); err != nil {
 			fatal("in-process controller: %v", err)
 		}

@@ -1,125 +1,152 @@
 // Command ofctl inspects a running HARMLESS switch the way
-// ovs-ofctl inspects Open vSwitch: it listens as an OpenFlow
-// controller, waits for one switch to connect, issues the requested
-// multipart queries, prints the results, and exits.
-//
-// Usage (pair with harmlessd -controller pointing here):
+// ovs-ofctl inspects Open vSwitch: it attaches as an OpenFlow
+// controller over the typed controlplane client, issues the requested
+// queries, prints the results, and exits. It either listens for the
+// switch to dial in (-listen, pair with harmlessd -controllers) or
+// dials a switch running a passive listener (-connect, pair with
+// harmlessd -of-listen).
 //
 //	ofctl -listen :6653 dump-flows
-//	ofctl -listen :6653 dump-ports
+//	ofctl -connect 127.0.0.1:6653 dump-ports
 //	ofctl -listen :6653 dump-desc
 //	ofctl -listen :6653 dump-tables
 //	ofctl -listen :6653 show
+//	ofctl -listen :6653 role          # negotiate MASTER (see -role, -generation)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"time"
 
+	"github.com/harmless-sdn/harmless/internal/controlplane"
 	"github.com/harmless-sdn/harmless/internal/openflow"
 )
 
 func main() {
 	listen := flag.String("listen", ":6653", "address to accept the switch connection on")
-	timeout := flag.Duration("timeout", 30*time.Second, "how long to wait for the switch")
+	connect := flag.String("connect", "", "dial a passively-listening switch instead of accepting one")
+	timeout := flag.Duration("timeout", 30*time.Second, "how long to wait for the switch and for replies")
+	roleName := flag.String("role", "master", "role for the `role` command: master|slave|equal")
+	generation := flag.Uint64("generation", 1, "generation_id for the `role` command")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "show"
 	}
 
-	l, err := net.Listen("tcp", *listen)
-	if err != nil {
-		fatal("listen: %v", err)
-	}
-	defer l.Close()
-	fmt.Fprintf(os.Stderr, "ofctl: waiting for a switch on %s ...\n", *listen)
-	if dl, ok := l.(*net.TCPListener); ok {
-		_ = dl.SetDeadline(time.Now().Add(*timeout))
-	}
-	// Accept until a peer completes the OpenFlow handshake (port
-	// probes and health checks are tolerated and skipped).
-	var conn *openflow.Conn
-	var features *openflow.FeaturesReply
-	for conn == nil {
-		tcp, err := l.Accept()
-		if err != nil {
-			fatal("accept: %v", err)
-		}
-		c := openflow.NewConn(tcp)
-		f, err := c.Handshake(nil)
-		if err != nil {
-			c.Close()
-			fmt.Fprintf(os.Stderr, "ofctl: peer %s did not speak OpenFlow (%v), waiting again\n",
-				tcp.RemoteAddr(), err)
-			continue
-		}
-		conn, features = c, f
-	}
-	defer conn.Close()
+	ctrl := attach(*listen, *connect, *timeout)
+	defer ctrl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	features := ctrl.Features()
 
 	switch cmd {
 	case "show":
 		fmt.Printf("dpid=%#016x n_tables=%d n_buffers=%d capabilities=%#x\n",
 			features.DatapathID, features.NTables, features.NBuffers, features.Capabilities)
-		reply := multipart(conn, &openflow.MultipartRequest{MPType: openflow.MultipartPortDesc})
+		reply, err := ctrl.Multipart(ctx, &openflow.MultipartRequest{MPType: openflow.MultipartPortDesc})
+		if err != nil {
+			fatal("port-desc: %v", err)
+		}
 		for _, p := range reply.PortDescs {
 			fmt.Printf(" port %d (%s): addr=%s state=%#x speed=%dkbps\n",
 				p.PortNo, p.Name, p.HWAddr, p.State, p.CurrSpeed)
 		}
 	case "dump-flows":
-		reply := multipart(conn, &openflow.MultipartRequest{MPType: openflow.MultipartFlow})
-		for _, f := range reply.Flows {
+		flows, err := ctrl.FlowStats(ctx, openflow.TableAll)
+		if err != nil {
+			fatal("flow stats: %v", err)
+		}
+		for _, f := range flows {
 			fmt.Printf(" %s\n", f.String())
 		}
-		if len(reply.Flows) == 0 {
+		if len(flows) == 0 {
 			fmt.Println(" (no flows)")
 		}
 	case "dump-ports":
-		reply := multipart(conn, &openflow.MultipartRequest{MPType: openflow.MultipartPortStats})
-		for _, p := range reply.Ports {
+		ports, err := ctrl.PortStats(ctx)
+		if err != nil {
+			fatal("port stats: %v", err)
+		}
+		for _, p := range ports {
 			fmt.Printf(" port %d: rx pkts=%d bytes=%d drop=%d err=%d, tx pkts=%d bytes=%d drop=%d\n",
 				p.PortNo, p.RxPackets, p.RxBytes, p.RxDropped, p.RxErrors,
 				p.TxPackets, p.TxBytes, p.TxDropped)
 		}
 	case "dump-tables":
-		reply := multipart(conn, &openflow.MultipartRequest{MPType: openflow.MultipartTable})
+		reply, err := ctrl.Multipart(ctx, &openflow.MultipartRequest{MPType: openflow.MultipartTable})
+		if err != nil {
+			fatal("table stats: %v", err)
+		}
 		for _, t := range reply.Tables {
 			fmt.Printf(" table %d: active=%d lookups=%d matched=%d\n",
 				t.TableID, t.ActiveCount, t.LookupCount, t.MatchedCount)
 		}
 	case "dump-desc":
-		reply := multipart(conn, &openflow.MultipartRequest{MPType: openflow.MultipartDesc})
+		reply, err := ctrl.Multipart(ctx, &openflow.MultipartRequest{MPType: openflow.MultipartDesc})
+		if err != nil {
+			fatal("desc: %v", err)
+		}
 		d := reply.Desc
 		fmt.Printf(" manufacturer: %s\n hardware:     %s\n software:     %s\n serial:       %s\n datapath:     %s\n",
 			d.Manufacturer, d.Hardware, d.Software, d.SerialNum, d.Datapath)
+	case "role":
+		want := map[string]uint32{
+			"master": openflow.RoleMaster, "slave": openflow.RoleSlave, "equal": openflow.RoleEqual,
+		}[*roleName]
+		if want == 0 {
+			fatal("unknown -role %q (want master|slave|equal)", *roleName)
+		}
+		role, gen, err := ctrl.RequestRole(ctx, want, *generation)
+		if err != nil {
+			fatal("role request: %v", err)
+		}
+		fmt.Printf("role=%s generation_id=%d\n", openflow.RoleName(role), gen)
 	default:
-		fatal("unknown command %q (want show|dump-flows|dump-ports|dump-tables|dump-desc)", cmd)
+		fatal("unknown command %q (want show|dump-flows|dump-ports|dump-tables|dump-desc|role)", cmd)
 	}
 }
 
-// multipart sends one request and waits for its reply, answering echo
-// requests meanwhile.
-func multipart(conn *openflow.Conn, req *openflow.MultipartRequest) *openflow.MultipartReply {
-	if err := conn.Send(req); err != nil {
-		fatal("send: %v", err)
+// attach obtains the typed controller channel: dialing a passive
+// switch listener, or accepting the switch's active connection (port
+// probes and health checks are tolerated and skipped).
+func attach(listen, connect string, timeout time.Duration) *controlplane.Controller {
+	if connect != "" {
+		tcp, err := net.DialTimeout("tcp", connect, timeout)
+		if err != nil {
+			fatal("connect %s: %v", connect, err)
+		}
+		ctrl, err := controlplane.Connect(tcp, controlplane.Config{}, controlplane.Events{})
+		if err != nil {
+			fatal("handshake with %s: %v", connect, err)
+		}
+		return ctrl
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "ofctl: waiting for a switch on %s ...\n", listen)
+	if dl, ok := l.(*net.TCPListener); ok {
+		_ = dl.SetDeadline(time.Now().Add(timeout))
 	}
 	for {
-		m, err := conn.Recv()
+		tcp, err := l.Accept()
 		if err != nil {
-			fatal("recv: %v", err)
+			fatal("accept: %v", err)
 		}
-		switch t := m.(type) {
-		case *openflow.MultipartReply:
-			return t
-		case *openflow.EchoRequest:
-			_ = conn.Send(&openflow.EchoReply{Data: t.Data})
-		case *openflow.Error:
-			fatal("switch error: %v", t)
+		ctrl, err := controlplane.Connect(tcp, controlplane.Config{}, controlplane.Events{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ofctl: peer %s did not speak OpenFlow (%v), waiting again\n",
+				tcp.RemoteAddr(), err)
+			continue
 		}
+		return ctrl
 	}
 }
 

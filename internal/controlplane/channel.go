@@ -1,0 +1,412 @@
+// Package controlplane implements the OpenFlow control-plane layer of
+// HARMLESS as a first-class API, replacing the single hand-wired
+// io.ReadWriteCloser the switch used to hold towards one controller.
+//
+// The switch side is a Channel — the connection state machine for one
+// controller (HELLO handshake, echo-keepalive liveness with dead-peer
+// teardown, active-connect mode with exponential-backoff redial,
+// passive attach for accepted or in-memory transports) — and a
+// ChannelSet that serves many concurrent controllers with OpenFlow 1.3
+// role arbitration (ROLE_REQUEST/ROLE_REPLY with generation_id
+// checking, MASTER/SLAVE/EQUAL, stale masters demoted) and per-role
+// asynchronous-event filtering (SET_ASYNC/GET_ASYNC masks).
+//
+// The northbound side is Controller, a typed client over the same wire
+// protocol: xid-correlated request/await-reply plumbing (AwaitBarrier,
+// FlowStats, PortStats, role negotiation) plus async-event callbacks.
+//
+// Controller redundancy and master/slave handover are what make a
+// production hybrid-SDN deployment survivable (Kreutz et al. §V.C);
+// this package is what lets a HARMLESS-S4 keep forwarding through a
+// controller crash and promote a standby without a flag day.
+package controlplane
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/harmless-sdn/harmless/internal/openflow"
+)
+
+// State is the lifecycle position of a channel.
+type State int32
+
+// Channel states.
+const (
+	// StateConnecting: no transport yet (dialing, or between redials).
+	StateConnecting State = iota
+	// StateHandshake: transport up, our HELLO sent, peer HELLO pending.
+	StateHandshake
+	// StateUp: HELLO exchanged; the channel is live.
+	StateUp
+	// StateDown: transport lost; a dial-mode channel will redial.
+	StateDown
+	// StateClosed: terminal (Close called, or attach transport died).
+	StateClosed
+)
+
+// String renders the state for logs.
+func (s State) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateHandshake:
+		return "handshake"
+	case StateUp:
+		return "up"
+	case StateDown:
+		return "down"
+	case StateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// ErrChannelDown is returned by Send while the channel has no live
+// transport.
+var ErrChannelDown = fmt.Errorf("controlplane: channel down")
+
+// Config tunes a channel's liveness probing and reconnect behavior.
+// The zero value picks the defaults below.
+type Config struct {
+	// EchoInterval between keepalive ECHO_REQUESTs (default 5s;
+	// negative disables keepalive probing entirely).
+	EchoInterval time.Duration
+	// EchoTimeout declares the peer dead when nothing (echo reply or
+	// any other message) has been received for this long (default
+	// 3 x EchoInterval).
+	EchoTimeout time.Duration
+	// BackoffMin is the first redial delay in active-connect mode
+	// (default 50ms); each failed attempt doubles it up to BackoffMax
+	// (default 5s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// DialTimeout bounds one TCP connect attempt (default 3s).
+	DialTimeout time.Duration
+	// Logger for channel lifecycle diagnostics (default: discard).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.EchoInterval == 0 {
+		c.EchoInterval = 5 * time.Second
+	}
+	if c.EchoTimeout <= 0 {
+		c.EchoTimeout = 3 * c.EchoInterval
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// backoff returns the delay before redial attempt n (0-based),
+// doubling from BackoffMin and saturating at BackoffMax.
+func (c Config) backoff(attempt int) time.Duration {
+	d := c.BackoffMin
+	for i := 0; i < attempt && d < c.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.BackoffMax {
+		d = c.BackoffMax
+	}
+	return d
+}
+
+// Endpoint names one controller a switch should keep a channel to:
+// either an address to dial (active-connect with backoff redial) or an
+// already-established transport (accepted TCP conn, net.Pipe end).
+type Endpoint struct {
+	Addr string
+	Conn io.ReadWriteCloser
+}
+
+// Channel is the switch side of one OpenFlow control connection. A
+// channel belongs to a ChannelSet, which arbitrates controller roles
+// across all channels of the switch; per-channel state is the
+// transport, the negotiated role, and the async-event filter masks.
+type Channel struct {
+	set  *ChannelSet
+	cfg  Config
+	addr string // non-empty: active-connect mode, redial forever
+
+	state   atomic.Int32
+	redials atomic.Uint64 // dial attempts after the first
+	lastRx  atomic.Int64  // unixnano of the last received message
+
+	mu    sync.Mutex
+	conn  *openflow.Conn // nil while no transport
+	role  uint32
+	async openflow.AsyncConfig
+
+	done      chan struct{} // closed when the channel is terminal
+	closeOnce sync.Once
+}
+
+func newChannel(set *ChannelSet, addr string) *Channel {
+	c := &Channel{
+		set:   set,
+		cfg:   set.cfg,
+		addr:  addr,
+		role:  openflow.RoleEqual,
+		async: openflow.DefaultAsyncConfig(),
+		done:  make(chan struct{}),
+	}
+	c.state.Store(int32(StateConnecting))
+	return c
+}
+
+// State returns the channel's lifecycle state.
+func (c *Channel) State() State { return State(c.state.Load()) }
+
+// Role returns the controller role currently held by this connection.
+func (c *Channel) Role() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.role
+}
+
+// Redials returns the number of reconnect attempts made after the
+// initial one (active-connect mode only).
+func (c *Channel) Redials() uint64 { return c.redials.Load() }
+
+// RemoteAddr returns the dial address (active mode) or "" for attached
+// transports.
+func (c *Channel) RemoteAddr() string { return c.addr }
+
+// Done is closed when the channel terminates for good: Close was
+// called, or an attached transport died (dial-mode channels never
+// finish on their own — they redial).
+func (c *Channel) Done() <-chan struct{} { return c.done }
+
+// Send queues m on the channel's transport.
+func (c *Channel) Send(m openflow.Message) error {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn == nil {
+		return ErrChannelDown
+	}
+	return conn.Send(m)
+}
+
+// Reply sends resp echoing req's transaction id.
+func (c *Channel) Reply(req, resp openflow.Message) error {
+	resp.SetXID(req.XID())
+	return c.Send(resp)
+}
+
+// SendError reports a failure for req back to the controller, quoting
+// the first bytes of the offending message as the spec asks.
+func (c *Channel) SendError(req openflow.Message, errType, code uint16) {
+	data, _ := req.Marshal()
+	if len(data) > 64 {
+		data = data[:64]
+	}
+	e := &openflow.Error{ErrType: errType, Code: code, Data: data}
+	e.SetXID(req.XID())
+	_ = c.Send(e)
+}
+
+// Close terminates the channel: the transport is torn down and, in
+// active-connect mode, no further redials happen.
+func (c *Channel) Close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.state.Store(int32(StateClosed))
+		c.mu.Lock()
+		conn := c.conn
+		c.conn = nil
+		c.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+		c.set.remove(c)
+	})
+}
+
+func (c *Channel) closed() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// setRole is called under the set's role lock.
+func (c *Channel) setRole(role uint32) {
+	c.mu.Lock()
+	c.role = role
+	c.mu.Unlock()
+}
+
+// wantsAsync applies the per-role async filter masks.
+func (c *Channel) wantsAsync(msgType, reason uint8) bool {
+	if c.State() != StateUp {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.async.Wants(c.role, msgType, reason)
+}
+
+// runAttach serves one already-established transport; the channel is
+// terminal when it dies.
+func (c *Channel) runAttach(rw io.ReadWriteCloser) {
+	c.serve(rw)
+	c.Close()
+}
+
+// runDial is the active-connect loop: dial, serve, and on transport
+// loss redial with exponential backoff, forever until Close.
+func (c *Channel) runDial() {
+	attempt := 0
+	for !c.closed() {
+		c.state.Store(int32(StateConnecting))
+		rw, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+		if err != nil {
+			c.cfg.Logger.Printf("controlplane: dial %s: %v (retry in %v)", c.addr, err, c.cfg.backoff(attempt))
+			if !c.sleep(c.cfg.backoff(attempt)) {
+				return
+			}
+			attempt++
+			c.redials.Add(1)
+			continue
+		}
+		attempt = 0
+		c.serve(rw)
+		if c.closed() {
+			return
+		}
+		c.cfg.Logger.Printf("controlplane: channel to %s lost, redialing", c.addr)
+		if !c.sleep(c.cfg.backoff(0)) {
+			return
+		}
+		c.redials.Add(1)
+	}
+}
+
+// sleep waits d or until the channel closes; false means closed.
+func (c *Channel) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// serve runs one transport to completion: HELLO, then the read loop
+// with keepalive, returning when the transport dies.
+func (c *Channel) serve(rw io.ReadWriteCloser) {
+	conn := openflow.NewConn(rw)
+	c.mu.Lock()
+	if c.closed() {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.conn = conn
+	// A fresh transport renegotiates from scratch: EQUAL role and
+	// default async masks, per the spec's connection-start state.
+	c.role = openflow.RoleEqual
+	c.async = openflow.DefaultAsyncConfig()
+	c.mu.Unlock()
+	c.lastRx.Store(time.Now().UnixNano())
+	c.state.Store(int32(StateHandshake))
+
+	if err := conn.Send(&openflow.Hello{}); err == nil {
+		stopKeep := make(chan struct{})
+		go c.keepalive(conn, stopKeep)
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				break
+			}
+			c.lastRx.Store(time.Now().UnixNano())
+			c.dispatch(m)
+		}
+		close(stopKeep)
+	}
+	conn.Close()
+	c.mu.Lock()
+	c.conn = nil
+	c.mu.Unlock()
+	if !c.closed() {
+		c.state.Store(int32(StateDown))
+	}
+}
+
+// keepalive probes the peer with ECHO_REQUEST every EchoInterval and
+// tears the transport down when nothing has been received for
+// EchoTimeout — the read loop then unblocks and the channel either
+// redials (active mode) or terminates (attach mode).
+func (c *Channel) keepalive(conn *openflow.Conn, stop <-chan struct{}) {
+	if c.cfg.EchoInterval < 0 {
+		return
+	}
+	t := time.NewTicker(c.cfg.EchoInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-c.done:
+			return
+		case <-t.C:
+			idle := time.Since(time.Unix(0, c.lastRx.Load()))
+			if idle > c.cfg.EchoTimeout {
+				c.cfg.Logger.Printf("controlplane: peer dead (%v since last rx), tearing channel down", idle)
+				conn.Close()
+				return
+			}
+			_ = conn.Send(&openflow.EchoRequest{})
+		}
+	}
+}
+
+// dispatch handles the messages the channel state machine owns and
+// forwards the rest to the datapath.
+func (c *Channel) dispatch(m openflow.Message) {
+	switch t := m.(type) {
+	case *openflow.Hello:
+		c.state.Store(int32(StateUp))
+	case *openflow.EchoRequest:
+		_ = c.Reply(m, &openflow.EchoReply{Data: t.Data})
+	case *openflow.EchoReply:
+		// Liveness already refreshed by the read loop.
+	case *openflow.FeaturesRequest:
+		f := c.set.dp.Features()
+		_ = c.Reply(m, &f)
+	case *openflow.RoleRequest:
+		c.set.handleRoleRequest(c, t)
+	case *openflow.SetAsync:
+		c.mu.Lock()
+		c.async = t.AsyncConfig
+		c.mu.Unlock()
+	case *openflow.GetAsyncRequest:
+		c.mu.Lock()
+		cfg := c.async
+		c.mu.Unlock()
+		_ = c.Reply(m, &openflow.GetAsyncReply{AsyncConfig: cfg})
+	default:
+		c.set.dp.Handle(c, m)
+	}
+}

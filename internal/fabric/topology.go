@@ -2,11 +2,11 @@ package fabric
 
 import (
 	"fmt"
-	"io"
 	"net"
 	"time"
 
 	"github.com/harmless-sdn/harmless/internal/controller"
+	"github.com/harmless-sdn/harmless/internal/controlplane"
 	"github.com/harmless-sdn/harmless/internal/harmless"
 	"github.com/harmless-sdn/harmless/internal/legacy"
 	"github.com/harmless-sdn/harmless/internal/mgmt"
@@ -59,6 +59,13 @@ type DeployConfig struct {
 	// Controller reuses an existing controller instead of creating
 	// one (multi-switch deployments); Apps is ignored when set.
 	Controller *controller.Controller
+	// Controllers adds external control-plane endpoints (dialed
+	// addresses or established transports) on top of — or instead of —
+	// the in-process controller.
+	Controllers []controlplane.Endpoint
+	// ControlPlane tunes SS_2's controller channels (keepalive,
+	// backoff, logger). Zero = defaults.
+	ControlPlane controlplane.Config
 }
 
 // HostMAC returns the deterministic MAC used for the host on an access
@@ -135,10 +142,10 @@ func BuildDeployment(cfg DeployConfig) (*Deployment, error) {
 	} else {
 		d.Ctrl = controller.New(cfg.Apps)
 	}
-	var ctrlConn io.ReadWriteCloser
+	endpoints := append([]controlplane.Endpoint(nil), cfg.Controllers...)
 	if len(cfg.Apps) > 0 || cfg.Controller != nil {
 		swSide, ctrlSide := net.Pipe()
-		ctrlConn = swSide
+		endpoints = append(endpoints, controlplane.Endpoint{Conn: swSide})
 		go func() { _, _ = d.Ctrl.AttachConn(ctrlSide) }()
 	}
 
@@ -148,10 +155,11 @@ func BuildDeployment(cfg DeployConfig) (*Deployment, error) {
 		AccessPorts:   cfg.AccessPorts,
 		Specialize:    cfg.Specialize,
 		SweepInterval: cfg.SweepInterval,
+		ControlPlane:  cfg.ControlPlane,
 		Clock:         cfg.Clock,
 		DatapathID:    cfg.DatapathID,
 	})
-	s4, err := d.Manager.Deploy(d.TrunkLink.B(), ctrlConn)
+	s4, err := d.Manager.Deploy(d.TrunkLink.B(), endpoints)
 	if err != nil {
 		return nil, err
 	}

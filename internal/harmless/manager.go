@@ -2,9 +2,9 @@ package harmless
 
 import (
 	"fmt"
-	"io"
 	"time"
 
+	"github.com/harmless-sdn/harmless/internal/controlplane"
 	"github.com/harmless-sdn/harmless/internal/mgmt"
 	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/snmp"
@@ -39,6 +39,9 @@ type ManagerConfig struct {
 	Specialize bool
 	// SweepInterval for flow expiry on SS_2 (0 = disabled).
 	SweepInterval time.Duration
+	// ControlPlane tunes SS_2's controller channels (keepalive,
+	// backoff, logger for dial/liveness diagnostics). Zero = defaults.
+	ControlPlane controlplane.Config
 	// Clock injection for tests.
 	Clock netem.Clock
 }
@@ -74,9 +77,11 @@ func (m *Manager) Discover() (*mgmt.Facts, error) {
 //	attach trunk -> connect controller.
 //
 // trunkPort is the server-side end of the link cabled to the legacy
-// switch's trunk; controllerConn is the transport to the SDN
-// controller (nil to defer connection, e.g. for staged bring-up).
-func (m *Manager) Deploy(trunkPort *netem.Port, controllerConn io.ReadWriteCloser) (*S4, error) {
+// switch's trunk; controllers names the SDN controller endpoints SS_2
+// maintains channels to — addresses are dialed with backoff redial,
+// established transports are served directly (nil/empty defers
+// connection, e.g. for staged bring-up).
+func (m *Manager) Deploy(trunkPort *netem.Port, controllers []controlplane.Endpoint) (*S4, error) {
 	facts, err := m.Discover()
 	if err != nil {
 		return nil, fmt.Errorf("harmless: discovery failed: %w", err)
@@ -107,8 +112,8 @@ func (m *Manager) Deploy(trunkPort *netem.Port, controllerConn io.ReadWriteClose
 		return nil, err
 	}
 	s4.AttachTrunk(trunkPort)
-	if controllerConn != nil {
-		s4.ConnectController(controllerConn, m.cfg.SweepInterval)
+	if len(controllers) > 0 {
+		s4.ConnectControllers(controllers, m.cfg.ControlPlane, m.cfg.SweepInterval)
 	}
 	m.s4 = s4
 	return s4, nil

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/harmless-sdn/harmless/internal/controlplane"
 	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/softswitch"
 )
@@ -78,11 +79,30 @@ func (s *S4) AttachTrunk(p *netem.Port) {
 	s.SS1.AttachNetPort(SS1TrunkPort, "trunk", p)
 }
 
-// ConnectController starts SS_2's OpenFlow agent over the given
+// ConnectController starts SS_2's OpenFlow agent over one established
 // transport. sweepInterval controls periodic flow-expiry checks
 // (0 disables; tests sweep manually).
 func (s *S4) ConnectController(rw io.ReadWriteCloser, sweepInterval time.Duration) {
-	s.agent = s.SS2.StartAgent(rw, sweepInterval)
+	s.ConnectControllers([]controlplane.Endpoint{{Conn: rw}}, controlplane.Config{}, sweepInterval)
+}
+
+// ConnectControllers brings SS_2's control plane up towards every
+// endpoint: Addr endpoints are dialed actively with backoff redial
+// across controller restarts, Conn endpoints serve an established
+// transport. Calling it again adds channels to the running agent
+// (cfg and sweepInterval apply only to the first call).
+func (s *S4) ConnectControllers(endpoints []controlplane.Endpoint, cfg controlplane.Config, sweepInterval time.Duration) {
+	if s.agent == nil {
+		s.agent = s.SS2.NewAgent(cfg, sweepInterval)
+	}
+	for _, ep := range endpoints {
+		if ep.Conn != nil {
+			s.agent.Attach(ep.Conn)
+		}
+		if ep.Addr != "" {
+			s.agent.Dial(ep.Addr)
+		}
+	}
 }
 
 // Agent returns SS_2's OpenFlow agent (nil before ConnectController).

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Conn frames OpenFlow messages over a byte stream and assigns
@@ -14,25 +15,33 @@ import (
 // net.Pipe synchronous writes would deadlock). Reads and writes may
 // proceed concurrently.
 type Conn struct {
-	rw        io.ReadWriteCloser
-	out       chan []byte
-	done      chan struct{}
-	closeOnce sync.Once
-	writeErr  atomic.Pointer[error]
-	nextXID   atomic.Uint32
+	rw          io.ReadWriteCloser
+	out         chan []byte
+	done        chan struct{}
+	writerDone  chan struct{}
+	closeOnce   sync.Once
+	closeErr    error       // transport Close result; read after writerDone
+	forceClosed atomic.Bool // Close abandoned a stuck flush and closed rw itself
+	writeErr    atomic.Pointer[error]
+	nextXID     atomic.Uint32
 }
 
 // outboundQueueLen bounds the number of queued unsent messages; a full
 // queue makes Send block (flow control towards a dead peer).
 const outboundQueueLen = 1024
 
+// closeFlushTimeout bounds how long Close waits for the writer to
+// flush queued frames towards a peer that has stopped reading.
+const closeFlushTimeout = time.Second
+
 // NewConn wraps a transport (TCP connection or net.Pipe end) and
 // starts its writer.
 func NewConn(rw io.ReadWriteCloser) *Conn {
 	c := &Conn{
-		rw:   rw,
-		out:  make(chan []byte, outboundQueueLen),
-		done: make(chan struct{}),
+		rw:         rw,
+		out:        make(chan []byte, outboundQueueLen),
+		done:       make(chan struct{}),
+		writerDone: make(chan struct{}),
 	}
 	c.nextXID.Store(1)
 	go c.writer()
@@ -40,18 +49,47 @@ func NewConn(rw io.ReadWriteCloser) *Conn {
 }
 
 func (c *Conn) writer() {
+	defer close(c.writerDone)
 	for {
 		select {
 		case <-c.done:
-			return
+			// Flush frames queued before Close so a Send-then-Close
+			// sequence still delivers (Close force-closes the transport
+			// if this stalls on a peer that stopped reading).
+			for {
+				select {
+				case frame := <-c.out:
+					if c.writeErr.Load() != nil {
+						continue
+					}
+					if _, err := c.rw.Write(frame); err != nil {
+						werr := fmt.Errorf("openflow: write: %w", err)
+						c.writeErr.Store(&werr)
+					}
+				default:
+					c.recordClose()
+					return
+				}
+			}
 		case frame := <-c.out:
 			if _, err := c.rw.Write(frame); err != nil {
 				werr := fmt.Errorf("openflow: write: %w", err)
 				c.writeErr.Store(&werr)
-				c.Close()
+				c.closeOnce.Do(func() { close(c.done) })
+				c.recordClose()
 				return
 			}
 		}
+	}
+}
+
+// recordClose closes the transport from the writer, keeping the result
+// for Close() — unless Close() already force-closed it, in which case
+// this second Close's inevitable "already closed" error is noise.
+func (c *Conn) recordClose() {
+	err := c.rw.Close()
+	if !c.forceClosed.Load() {
+		c.closeErr = err
 	}
 }
 
@@ -65,6 +103,13 @@ func (c *Conn) AllocXID() uint32 { return c.nextXID.Add(1) }
 func (c *Conn) Send(m Message) error {
 	if err := c.writeErr.Load(); err != nil {
 		return *err
+	}
+	// Checked alone first: once closed, Send must fail deterministically
+	// rather than racing the (possibly non-empty) queue in the select.
+	select {
+	case <-c.done:
+		return fmt.Errorf("openflow: connection closed")
+	default:
 	}
 	if m.XID() == 0 {
 		m.SetXID(c.AllocXID())
@@ -86,14 +131,25 @@ func (c *Conn) Recv() (Message, error) {
 	return ReadMessage(c.rw)
 }
 
-// Close tears down the transport. Safe to call multiple times.
+// Close flushes frames already queued by Send, then tears down the
+// transport. Safe to call multiple times and from multiple goroutines.
+// If the peer has stopped reading, the flush is abandoned after
+// closeFlushTimeout and the transport is closed underneath it.
 func (c *Conn) Close() error {
-	var err error
-	c.closeOnce.Do(func() {
-		close(c.done)
-		err = c.rw.Close()
-	})
-	return err
+	c.closeOnce.Do(func() { close(c.done) })
+	select {
+	case <-c.writerDone:
+	case <-time.After(closeFlushTimeout):
+		// The flush is stuck in a blocking Write; closing the transport
+		// under it unblocks the writer (net.Conn and net.Pipe both
+		// return from Write when closed concurrently). The abandon is
+		// deliberate, so the writer's follow-up close error is not
+		// reported as a Close failure.
+		c.forceClosed.Store(true)
+		_ = c.rw.Close()
+		<-c.writerDone
+	}
+	return c.closeErr
 }
 
 // Handshake performs the controller-side HELLO + FEATURES exchange and

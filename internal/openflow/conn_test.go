@@ -1,0 +1,152 @@
+package openflow
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConnCloseDeliversQueuedFrames: frames accepted by Send before
+// Close must reach the peer — Close flushes the outbound queue instead
+// of discarding it.
+func TestConnCloseDeliversQueuedFrames(t *testing.T) {
+	c1, c2 := net.Pipe()
+	conn := NewConn(c1)
+
+	got := make(chan Message, 4)
+	go func() {
+		for {
+			m, err := ReadMessage(c2)
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- m
+		}
+	}()
+
+	// net.Pipe is unbuffered: the writer blocks on the first frame
+	// until the reader picks it up, so with several sends in flight at
+	// Close time some are still queued.
+	for i := 0; i < 3; i++ {
+		if err := conn.Send(&EchoRequest{Data: []byte{byte(i)}}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	for i := 0; i < 3; i++ {
+		select {
+		case m, ok := <-got:
+			if !ok {
+				t.Fatalf("peer saw only %d of 3 queued frames", i)
+			}
+			er, isEcho := m.(*EchoRequest)
+			if !isEcho || len(er.Data) != 1 || er.Data[0] != byte(i) {
+				t.Fatalf("frame %d: got %#v", i, m)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for queued frame %d", i)
+		}
+	}
+}
+
+// TestConnSendBackpressure: a full outbound queue makes Send block
+// (flow control towards a slow peer), and Close releases the blocked
+// sender with an error instead of leaking it.
+func TestConnSendBackpressure(t *testing.T) {
+	c1, c2 := net.Pipe() // nothing ever reads c2
+	defer c2.Close()
+	conn := NewConn(c1)
+
+	// First frame: wait until the writer dequeued it and is stuck in
+	// the pipe Write, so the queue capacity below is exact.
+	if err := conn.Send(&Hello{}); err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(conn.out) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up the first frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Fill the queue; everything beyond it must block.
+	for i := 0; i < outboundQueueLen; i++ {
+		if err := conn.Send(&Hello{}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	blocked := make(chan error, 1)
+	go func() { blocked <- conn.Send(&Hello{}) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("send past a full queue returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+		// Still blocked: backpressure is on.
+	}
+
+	go conn.Close() // Close flushes towards the dead peer, then force-closes
+	select {
+	case err := <-blocked:
+		if err == nil {
+			t.Fatal("blocked Send returned nil after Close")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("blocked Send never released by Close")
+	}
+}
+
+// failingRW errors every write after the first n.
+type failingRW struct {
+	writes atomic.Int32
+	okay   int32
+}
+
+func (f *failingRW) Write(p []byte) (int, error) {
+	if f.writes.Add(1) > f.okay {
+		return 0, errors.New("transport broke")
+	}
+	return len(p), nil
+}
+func (f *failingRW) Read(p []byte) (int, error) { return 0, io.EOF }
+func (f *failingRW) Close() error               { return nil }
+
+// TestConnStickyWriteError: after a transport write fails, every later
+// Send reports the original write error rather than silently queueing
+// into a dead connection.
+func TestConnStickyWriteError(t *testing.T) {
+	rw := &failingRW{okay: 1}
+	conn := NewConn(rw)
+	if err := conn.Send(&Hello{}); err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	// Second frame hits the failing write; wait for the writer to
+	// observe it and latch the error.
+	_ = conn.Send(&Hello{})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := conn.Send(&Hello{})
+		if err != nil {
+			if want := "transport broke"; !strings.Contains(err.Error(), want) {
+				t.Fatalf("sticky error %q does not mention %q", err, want)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write error never became sticky")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// And it stays sticky.
+	if err := conn.Send(&Hello{}); err == nil {
+		t.Fatal("send after sticky error succeeded")
+	}
+}

@@ -9,6 +9,11 @@ func FuzzParse(f *testing.F) {
 		&Hello{}, &EchoRequest{Data: []byte("x")},
 		&FeaturesReply{DatapathID: 1, NTables: 2},
 		&BarrierRequest{},
+		&RoleRequest{Role: RoleMaster, GenerationID: 7},
+		&RoleReply{Role: RoleSlave, GenerationID: 9},
+		&SetAsync{AsyncConfig: DefaultAsyncConfig()},
+		&GetAsyncRequest{},
+		&GetAsyncReply{AsyncConfig: DefaultAsyncConfig()},
 	} {
 		m.SetXID(1)
 		if frame, err := m.Marshal(); err == nil {

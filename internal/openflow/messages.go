@@ -106,13 +106,14 @@ func (m *BarrierReply) unmarshalBody(body []byte) error { return nil }
 
 // Error type codes (subset).
 const (
-	ErrTypeHelloFailed    uint16 = 0
-	ErrTypeBadRequest     uint16 = 1
-	ErrTypeBadAction      uint16 = 2
-	ErrTypeBadMatch       uint16 = 4
-	ErrTypeFlowModFailed  uint16 = 5
-	ErrTypeGroupModFailed uint16 = 6
-	ErrTypeMeterModFailed uint16 = 12
+	ErrTypeHelloFailed       uint16 = 0
+	ErrTypeBadRequest        uint16 = 1
+	ErrTypeBadAction         uint16 = 2
+	ErrTypeBadMatch          uint16 = 4
+	ErrTypeFlowModFailed     uint16 = 5
+	ErrTypeGroupModFailed    uint16 = 6
+	ErrTypeRoleRequestFailed uint16 = 11
+	ErrTypeMeterModFailed    uint16 = 12
 )
 
 // Flow-mod failed codes (subset).

@@ -45,6 +45,11 @@ const (
 	TypeMultipartReply   uint8 = 19
 	TypeBarrierRequest   uint8 = 20
 	TypeBarrierReply     uint8 = 21
+	TypeRoleRequest      uint8 = 24
+	TypeRoleReply        uint8 = 25
+	TypeGetAsyncRequest  uint8 = 26
+	TypeGetAsyncReply    uint8 = 27
+	TypeSetAsync         uint8 = 28
 	TypeMeterMod         uint8 = 29
 )
 
@@ -164,6 +169,16 @@ func Parse(data []byte) (Message, error) {
 		m = &BarrierRequest{}
 	case TypeBarrierReply:
 		m = &BarrierReply{}
+	case TypeRoleRequest:
+		m = &RoleRequest{}
+	case TypeRoleReply:
+		m = &RoleReply{}
+	case TypeGetAsyncRequest:
+		m = &GetAsyncRequest{}
+	case TypeGetAsyncReply:
+		m = &GetAsyncReply{}
+	case TypeSetAsync:
+		m = &SetAsync{}
 	default:
 		return nil, fmt.Errorf("openflow: unsupported message type %d", h.Type)
 	}

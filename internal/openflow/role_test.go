@@ -1,0 +1,76 @@
+package openflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoleMessagesRoundTrip(t *testing.T) {
+	roundTrip(t, &RoleRequest{Role: RoleMaster, GenerationID: 0xdeadbeefcafe})
+	roundTrip(t, &RoleRequest{Role: RoleNoChange})
+	roundTrip(t, &RoleReply{Role: RoleSlave, GenerationID: ^uint64(0)})
+}
+
+func TestAsyncMessagesRoundTrip(t *testing.T) {
+	cfg := AsyncConfig{
+		PacketInMask:    [2]uint32{0x3, 0x0},
+		PortStatusMask:  [2]uint32{0x7, 0x7},
+		FlowRemovedMask: [2]uint32{0xf, 0x1},
+	}
+	roundTrip(t, &SetAsync{AsyncConfig: cfg})
+	roundTrip(t, &GetAsyncRequest{})
+	roundTrip(t, &GetAsyncReply{AsyncConfig: cfg})
+}
+
+func TestRoleMessageTruncated(t *testing.T) {
+	for _, m := range []Message{&RoleRequest{}, &RoleReply{}, &SetAsync{}, &GetAsyncReply{}} {
+		m.SetXID(9)
+		wire, err := m.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chop the body and fix up the header length: must error, not
+		// panic or misparse.
+		short := wire[:HeaderLen+4]
+		short[2] = byte(len(short) >> 8)
+		short[3] = byte(len(short))
+		if _, err := Parse(short); err == nil {
+			t.Errorf("%T: truncated body parsed", m)
+		}
+	}
+}
+
+func TestDefaultAsyncConfig(t *testing.T) {
+	cfg := DefaultAsyncConfig()
+	cases := []struct {
+		role   uint32
+		typ    uint8
+		reason uint8
+		want   bool
+	}{
+		{RoleMaster, TypePacketIn, PacketInReasonNoMatch, true},
+		{RoleEqual, TypePacketIn, PacketInReasonAction, true},
+		{RoleSlave, TypePacketIn, PacketInReasonNoMatch, false},
+		{RoleMaster, TypeFlowRemoved, FlowRemovedIdleTimeout, true},
+		{RoleSlave, TypeFlowRemoved, FlowRemovedDelete, false},
+		{RoleMaster, TypePortStatus, PortReasonAdd, true},
+		{RoleSlave, TypePortStatus, PortReasonModify, true}, // slaves keep port-status
+		{RoleSlave, TypeBarrierReply, 0, true},              // non-async types never filtered
+	}
+	for _, c := range cases {
+		if got := cfg.Wants(c.role, c.typ, c.reason); got != c.want {
+			t.Errorf("Wants(%s, type %d, reason %d) = %v, want %v",
+				RoleName(c.role), c.typ, c.reason, got, c.want)
+		}
+	}
+}
+
+func TestRoleName(t *testing.T) {
+	if RoleName(RoleMaster) != "master" || RoleName(RoleSlave) != "slave" ||
+		RoleName(RoleEqual) != "equal" || RoleName(RoleNoChange) != "nochange" {
+		t.Error("role names wrong")
+	}
+	if !strings.Contains(RoleName(77), "77") {
+		t.Error("unknown role not rendered numerically")
+	}
+}

@@ -2,50 +2,92 @@ package softswitch
 
 import (
 	"io"
+	"net"
+	"sync"
 	"time"
 
+	"github.com/harmless-sdn/harmless/internal/controlplane"
 	"github.com/harmless-sdn/harmless/internal/flowtable"
 	"github.com/harmless-sdn/harmless/internal/openflow"
 )
 
-// Agent is the switch side of the OpenFlow channel: it answers the
-// handshake, applies controller messages to the datapath, and carries
-// asynchronous events (packet-in, flow-removed, port-status) upstream.
+// Agent is the switch side of the OpenFlow control plane: it serves
+// any number of concurrent controller channels through a
+// controlplane.ChannelSet (HELLO/FEATURES handshake, echo keepalive,
+// MASTER/SLAVE/EQUAL role arbitration), applies controller messages to
+// the datapath, and fans asynchronous events (packet-in, flow-removed,
+// port-status) out to the channels whose role and async masks accept
+// them.
 type Agent struct {
-	sw   *Switch
-	conn *openflow.Conn
-	done chan struct{}
+	sw       *Switch
+	set      *controlplane.ChannelSet
+	done     chan struct{}
+	stopOnce sync.Once
 }
 
-// StartAgent connects the switch to a controller over rw and serves
-// the channel until the transport fails or Stop is called. A periodic
-// flow-expiry sweep runs while the agent is up (sweepInterval <= 0
-// disables it; tests with manual clocks call SweepExpired directly).
-func (s *Switch) StartAgent(rw io.ReadWriteCloser, sweepInterval time.Duration) *Agent {
-	a := &Agent{sw: s, conn: openflow.NewConn(rw), done: make(chan struct{})}
+// NewAgent creates the switch's control-plane agent without any
+// controller attached; use Attach/Dial/Listen to add channels. A
+// periodic flow-expiry sweep runs while the agent is up
+// (sweepInterval <= 0 disables it; tests with manual clocks call
+// SweepExpired directly).
+func (s *Switch) NewAgent(cfg controlplane.Config, sweepInterval time.Duration) *Agent {
+	a := &Agent{sw: s, done: make(chan struct{})}
+	a.set = controlplane.NewChannelSet(a, cfg)
 	s.agentMu.Lock()
 	s.agent = a
 	s.agentMu.Unlock()
-	go a.serve()
 	if sweepInterval > 0 {
 		go a.sweeper(sweepInterval)
 	}
 	return a
 }
 
-// Stop tears the channel down.
+// StartAgent connects the switch to a single controller over an
+// established transport and serves the channel until the transport
+// fails or Stop is called (the single-controller convenience around
+// NewAgent + Attach).
+func (s *Switch) StartAgent(rw io.ReadWriteCloser, sweepInterval time.Duration) *Agent {
+	a := s.NewAgent(controlplane.Config{}, sweepInterval)
+	a.Attach(rw)
+	return a
+}
+
+// Attach serves a controller over an established transport (accepted
+// TCP conn or net.Pipe end).
+func (a *Agent) Attach(rw io.ReadWriteCloser) *controlplane.Channel {
+	return a.set.Attach(rw)
+}
+
+// Dial keeps an active-connect channel towards a controller address,
+// redialing with exponential backoff across controller restarts.
+func (a *Agent) Dial(addr string) *controlplane.Channel {
+	return a.set.Dial(addr)
+}
+
+// Listen accepts controller connections on l (passive mode).
+func (a *Agent) Listen(l net.Listener) {
+	a.set.Listen(l)
+}
+
+// Channels snapshots the live controller channels.
+func (a *Agent) Channels() []*controlplane.Channel { return a.set.Channels() }
+
+// ChannelSet exposes the underlying channel set (role queries,
+// broadcast).
+func (a *Agent) ChannelSet() *controlplane.ChannelSet { return a.set }
+
+// Stop tears every controller channel down. Safe to call multiple
+// times and from multiple goroutines.
 func (a *Agent) Stop() {
-	select {
-	case <-a.done:
-	default:
+	a.stopOnce.Do(func() {
 		close(a.done)
-	}
-	a.conn.Close()
-	a.sw.agentMu.Lock()
-	if a.sw.agent == a {
-		a.sw.agent = nil
-	}
-	a.sw.agentMu.Unlock()
+		a.set.Close()
+		a.sw.agentMu.Lock()
+		if a.sw.agent == a {
+			a.sw.agent = nil
+		}
+		a.sw.agentMu.Unlock()
+	})
 }
 
 // Done is closed when the agent terminates.
@@ -64,39 +106,33 @@ func (a *Agent) sweeper(interval time.Duration) {
 	}
 }
 
-func (a *Agent) serve() {
-	defer a.Stop()
-	// Both sides open with HELLO.
-	if err := a.conn.Send(&openflow.Hello{}); err != nil {
-		return
-	}
-	for {
-		m, err := a.conn.Recv()
-		if err != nil {
-			return
-		}
-		a.handle(m)
+// Features implements controlplane.Datapath.
+func (a *Agent) Features() openflow.FeaturesReply {
+	return openflow.FeaturesReply{
+		DatapathID:   a.sw.dpid,
+		NBuffers:     a.sw.buffers.size,
+		NTables:      uint8(len(a.sw.tables)),
+		Capabilities: openflow.CapFlowStats | openflow.CapTableStats | openflow.CapPortStats | openflow.CapGroupStats,
 	}
 }
 
-// handle dispatches one controller message.
-func (a *Agent) handle(m openflow.Message) {
+// Handle implements controlplane.Datapath: it dispatches one
+// controller message against the datapath. State-changing messages
+// from a SLAVE controller are rejected with OFPBRC_IS_SLAVE, as the
+// role model requires.
+func (a *Agent) Handle(ch *controlplane.Channel, m openflow.Message) {
+	switch m.(type) {
+	case *openflow.FlowMod, *openflow.GroupMod, *openflow.MeterMod, *openflow.PacketOut:
+		if ch.Role() == openflow.RoleSlave {
+			ch.SendError(m, openflow.ErrTypeBadRequest, openflow.BadRequestIsSlave)
+			return
+		}
+	}
 	switch t := m.(type) {
-	case *openflow.Hello:
-		// Version negotiation done (we only speak 1.3).
-	case *openflow.EchoRequest:
-		a.reply(m, &openflow.EchoReply{Data: t.Data})
-	case *openflow.FeaturesRequest:
-		a.reply(m, &openflow.FeaturesReply{
-			DatapathID:   a.sw.dpid,
-			NBuffers:     a.sw.buffers.size,
-			NTables:      uint8(len(a.sw.tables)),
-			Capabilities: openflow.CapFlowStats | openflow.CapTableStats | openflow.CapPortStats | openflow.CapGroupStats,
-		})
 	case *openflow.FlowMod:
 		removed, err := a.sw.ApplyFlowMod(t)
 		if err != nil {
-			a.sendError(m, openflow.ErrTypeFlowModFailed, flowModErrCode(err))
+			ch.SendError(m, openflow.ErrTypeFlowModFailed, flowModErrCode(err))
 			return
 		}
 		for _, r := range removed {
@@ -114,20 +150,20 @@ func (a *Agent) handle(m openflow.Message) {
 		}
 	case *openflow.GroupMod:
 		if err := a.sw.groups.Apply(t); err != nil {
-			a.sendError(m, openflow.ErrTypeGroupModFailed, 0)
+			ch.SendError(m, openflow.ErrTypeGroupModFailed, 0)
 		}
 	case *openflow.MeterMod:
 		if err := a.sw.meters.Apply(t); err != nil {
-			a.sendError(m, openflow.ErrTypeMeterModFailed, 0)
+			ch.SendError(m, openflow.ErrTypeMeterModFailed, 0)
 		}
 	case *openflow.PacketOut:
 		a.sw.InjectPacketOut(t)
 	case *openflow.BarrierRequest:
 		// The datapath applies messages synchronously, so a barrier
 		// needs no draining.
-		a.reply(m, &openflow.BarrierReply{})
+		_ = ch.Reply(m, &openflow.BarrierReply{})
 	case *openflow.MultipartRequest:
-		a.handleMultipart(t)
+		a.handleMultipart(ch, t)
 	}
 }
 
@@ -138,7 +174,7 @@ func flowModErrCode(err error) uint16 {
 	return openflow.FlowModFailedUnknown
 }
 
-func (a *Agent) handleMultipart(req *openflow.MultipartRequest) {
+func (a *Agent) handleMultipart(ch *controlplane.Channel, req *openflow.MultipartRequest) {
 	reply := &openflow.MultipartReply{MPType: req.MPType}
 	switch req.MPType {
 	case openflow.MultipartDesc:
@@ -162,34 +198,20 @@ func (a *Agent) handleMultipart(req *openflow.MultipartRequest) {
 	case openflow.MultipartPortDesc:
 		reply.PortDescs = a.sw.PortDescs()
 	default:
-		a.sendError(req, openflow.ErrTypeBadRequest, 0)
+		ch.SendError(req, openflow.ErrTypeBadRequest, 0)
 		return
 	}
-	a.reply(req, reply)
+	_ = ch.Reply(req, reply)
 }
 
-// reply sends a response echoing the request's transaction id.
-func (a *Agent) reply(req openflow.Message, resp openflow.Message) {
-	resp.SetXID(req.XID())
-	_ = a.conn.Send(resp)
-}
-
-func (a *Agent) sendError(req openflow.Message, errType, code uint16) {
-	data, _ := req.Marshal()
-	if len(data) > 64 {
-		data = data[:64]
-	}
-	e := &openflow.Error{ErrType: errType, Code: code, Data: data}
-	e.SetXID(req.XID())
-	_ = a.conn.Send(e)
-}
-
+// sendPacketIn fans a packet-in out to the channels whose role and
+// masks accept its reason.
 func (a *Agent) sendPacketIn(pi *openflow.PacketIn) {
-	_ = a.conn.Send(pi)
+	a.set.Broadcast(pi, pi.Reason)
 }
 
 func (a *Agent) sendFlowRemoved(r flowtable.Removed) {
-	_ = a.conn.Send(&openflow.FlowRemoved{
+	a.set.Broadcast(&openflow.FlowRemoved{
 		Cookie:      r.Entry.Cookie,
 		Priority:    r.Entry.Priority,
 		Reason:      r.Reason,
@@ -200,9 +222,9 @@ func (a *Agent) sendFlowRemoved(r flowtable.Removed) {
 		PacketCount: r.Entry.Packets(),
 		ByteCount:   r.Entry.Bytes(),
 		Match:       r.Entry.Match.ToOXM(),
-	})
+	}, r.Reason)
 }
 
 func (a *Agent) sendPortStatus(reason uint8, desc openflow.PortDesc) {
-	_ = a.conn.Send(&openflow.PortStatus{Reason: reason, Desc: desc})
+	a.set.Broadcast(&openflow.PortStatus{Reason: reason, Desc: desc}, reason)
 }

@@ -16,12 +16,17 @@ func newBufferPool(size int) *bufferPool {
 	return &bufferPool{frames: make(map[uint32][]byte, size), size: uint32(size)}
 }
 
-// store saves a frame and returns its buffer id.
+// store saves a frame and returns its buffer id. Ids cycle through
+// [1, size]; 0 is never allocated so controller helpers can treat a
+// zero BufferID as "unset" without colliding with a real buffer.
 func (b *bufferPool) store(frame []byte) uint32 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.next++
+	if b.next > b.size {
+		b.next = 1
+	}
 	id := b.next
-	b.next = (b.next + 1) % b.size
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
 	b.frames[id] = cp
