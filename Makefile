@@ -10,7 +10,7 @@ BENCH_PKGS    := ./internal/softswitch ./internal/softswitch/runtime
 
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all lint fuzz-smoke test bench bench-baseline ci
+.PHONY: all lint fuzz-smoke test bench bench-baseline fleetsim-smoke ci
 
 all: ci
 
@@ -55,4 +55,17 @@ bench-baseline:
 	$(GO) run ./cmd/benchdiff -bench bench.txt -write BENCH_BASELINE.json \
 		-note "make bench-baseline snapshot (-benchtime 1x -count 5); deltas vs different hardware are informational"
 
-ci: lint test bench
+# Mirror of the fleetsim-smoke CI job: 1040 switches and 1M flow
+# arrivals on virtual time, run twice; the digests must match bitwise
+# and the packet-mode failover scenario must pass its zero-loss checks.
+fleetsim-smoke:
+	$(GO) build -o fleetsim ./cmd/fleetsim
+	./fleetsim -scenario examples/fleetsim/ci-smoke.json -wall-budget 55s -v -out verdict-a.json > /dev/null
+	./fleetsim -scenario examples/fleetsim/ci-smoke.json -wall-budget 55s -out verdict-b.json > /dev/null
+	@da="$$(grep -o '"digest": *"[0-9a-f]*"' verdict-a.json)"; \
+	db="$$(grep -o '"digest": *"[0-9a-f]*"' verdict-b.json)"; \
+	echo "run A: $$da"; echo "run B: $$db"; \
+	test -n "$$da" && test "$$da" = "$$db"
+	./fleetsim -scenario examples/fleetsim/packet-failover.json -wall-budget 55s > /dev/null
+
+ci: lint test bench fleetsim-smoke

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/openflow"
 )
 
@@ -90,6 +91,11 @@ type Config struct {
 	DialTimeout time.Duration
 	// Logger for channel lifecycle diagnostics (default: discard).
 	Logger *log.Logger
+	// Clock drives the keepalive timers, dead-peer idle measurement
+	// and redial backoff sleeps (default: the wall clock). Inject a
+	// netem.Scheduler to run the channel state machine's liveness
+	// probing on virtual time.
+	Clock netem.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +116,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
+	}
+	if c.Clock == nil {
+		c.Clock = netem.RealClock{}
 	}
 	return c
 }
@@ -301,9 +310,10 @@ func (c *Channel) runDial() {
 	}
 }
 
-// sleep waits d or until the channel closes; false means closed.
+// sleep waits d on the configured clock or until the channel closes;
+// false means closed.
 func (c *Channel) sleep(d time.Duration) bool {
-	t := time.NewTimer(d)
+	t := netem.NewTimer(c.cfg.Clock, d)
 	defer t.Stop()
 	select {
 	case <-c.done:
@@ -329,7 +339,7 @@ func (c *Channel) serve(rw io.ReadWriteCloser) {
 	c.role = openflow.RoleEqual
 	c.async = openflow.DefaultAsyncConfig()
 	c.mu.Unlock()
-	c.lastRx.Store(time.Now().UnixNano())
+	c.lastRx.Store(c.cfg.Clock.Now().UnixNano())
 	c.state.Store(int32(StateHandshake))
 
 	if err := conn.Send(&openflow.Hello{}); err == nil {
@@ -340,7 +350,7 @@ func (c *Channel) serve(rw io.ReadWriteCloser) {
 			if err != nil {
 				break
 			}
-			c.lastRx.Store(time.Now().UnixNano())
+			c.lastRx.Store(c.cfg.Clock.Now().UnixNano())
 			c.dispatch(m)
 		}
 		close(stopKeep)
@@ -362,7 +372,7 @@ func (c *Channel) keepalive(conn *openflow.Conn, stop <-chan struct{}) {
 	if c.cfg.EchoInterval < 0 {
 		return
 	}
-	t := time.NewTicker(c.cfg.EchoInterval)
+	t := netem.NewTicker(c.cfg.Clock, c.cfg.EchoInterval)
 	defer t.Stop()
 	for {
 		select {
@@ -371,7 +381,7 @@ func (c *Channel) keepalive(conn *openflow.Conn, stop <-chan struct{}) {
 		case <-c.done:
 			return
 		case <-t.C:
-			idle := time.Since(time.Unix(0, c.lastRx.Load()))
+			idle := c.cfg.Clock.Now().Sub(time.Unix(0, c.lastRx.Load()))
 			if idle > c.cfg.EchoTimeout {
 				c.cfg.Logger.Printf("controlplane: peer dead (%v since last rx), tearing channel down", idle)
 				conn.Close()

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/openflow"
 )
 
@@ -61,7 +62,7 @@ func Connect(rw io.ReadWriteCloser, cfg Config, events Events) (*Controller, err
 		return nil, fmt.Errorf("controlplane: handshake: %w", err)
 	}
 	c.features = features
-	c.lastRx.Store(time.Now().UnixNano())
+	c.lastRx.Store(c.cfg.Clock.Now().UnixNano())
 	for _, m := range early {
 		c.dispatch(m)
 	}
@@ -307,14 +308,14 @@ func (c *Controller) keepalive() {
 	if c.cfg.EchoInterval < 0 {
 		return
 	}
-	t := time.NewTicker(c.cfg.EchoInterval)
+	t := netem.NewTicker(c.cfg.Clock, c.cfg.EchoInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-c.done:
 			return
 		case <-t.C:
-			idle := time.Since(time.Unix(0, c.lastRx.Load()))
+			idle := c.cfg.Clock.Now().Sub(time.Unix(0, c.lastRx.Load()))
 			if idle > c.cfg.EchoTimeout {
 				c.teardown(fmt.Errorf("controlplane: switch dead (%v since last rx)", idle))
 				return

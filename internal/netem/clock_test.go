@@ -1,0 +1,179 @@
+package netem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The ordering contract: timers fire in (deadline, registration)
+// order, boundary deadlines included, with Now() pinned to each
+// timer's own deadline during its callback.
+func TestManualClockAdvanceOrdering(t *testing.T) {
+	c := NewManualClock()
+	epoch := c.Now()
+	var got []string
+	c.AfterFunc(30*time.Millisecond, func() { got = append(got, "c30") })
+	c.AfterFunc(10*time.Millisecond, func() {
+		if want := epoch.Add(10 * time.Millisecond); !c.Now().Equal(want) {
+			t.Errorf("Now inside 10ms callback = %v, want %v", c.Now(), want)
+		}
+		got = append(got, "a10")
+	})
+	c.AfterFunc(10*time.Millisecond, func() { got = append(got, "b10") }) // same deadline, later registration
+	c.AfterFunc(50*time.Millisecond, func() { got = append(got, "d50") })
+
+	// The advance boundary is inclusive: a timer at exactly +30ms fires
+	// in an Advance(30ms).
+	c.Advance(30 * time.Millisecond)
+	if want := "[a10 b10 c30]"; fmt.Sprint(got) != want {
+		t.Fatalf("after Advance(30ms): fired %v, want %v", got, want)
+	}
+	if want := epoch.Add(30 * time.Millisecond); !c.Now().Equal(want) {
+		t.Fatalf("Now after advance = %v, want %v", c.Now(), want)
+	}
+	c.Advance(20 * time.Millisecond)
+	if want := "[a10 b10 c30 d50]"; fmt.Sprint(got) != want {
+		t.Fatalf("after Advance(50ms total): fired %v, want %v", got, want)
+	}
+}
+
+// Timers registered by a callback within the advance window fire in
+// the same Advance, in their proper (deadline, registration) slot; a
+// zero-delay timer registered outside a callback waits for the next
+// Advance, even Advance(0).
+func TestManualClockAdvanceReentrantRegistration(t *testing.T) {
+	c := NewManualClock()
+	var got []string
+	c.AfterFunc(10*time.Millisecond, func() {
+		got = append(got, "first")
+		// Exactly at this callback's own deadline: still inside the
+		// window, fires later in the same Advance.
+		c.AfterFunc(0, func() { got = append(got, "boundary") })
+		c.AfterFunc(5*time.Millisecond, func() { got = append(got, "nested") })
+		c.AfterFunc(time.Hour, func() { got = append(got, "far") })
+	})
+	c.Advance(15 * time.Millisecond)
+	if want := "[first boundary nested]"; fmt.Sprint(got) != want {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+
+	got = nil
+	c.AfterFunc(0, func() { got = append(got, "zero") })
+	if len(got) != 0 {
+		t.Fatal("zero-delay timer fired at registration, want at next Advance")
+	}
+	c.Advance(0)
+	if want := "[zero]"; fmt.Sprint(got) != want {
+		t.Fatalf("after Advance(0): fired %v, want %v", got, want)
+	}
+}
+
+func TestManualClockTimerStop(t *testing.T) {
+	c := NewManualClock()
+	fired := false
+	cancel := c.AfterFunc(time.Millisecond, func() { fired = true })
+	if !cancel() {
+		t.Fatal("first cancel reported no-op")
+	}
+	if cancel() {
+		t.Fatal("second cancel reported success")
+	}
+	c.Advance(time.Second)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if got := c.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", got)
+	}
+}
+
+func TestManualClockNextTimerAndFired(t *testing.T) {
+	c := NewManualClock()
+	if _, ok := c.NextTimer(); ok {
+		t.Fatal("NextTimer reported a pending timer on a fresh clock")
+	}
+	c.AfterFunc(20*time.Millisecond, func() {})
+	c.AfterFunc(5*time.Millisecond, func() {})
+	when, ok := c.NextTimer()
+	if !ok || !when.Equal(c.Now().Add(5*time.Millisecond)) {
+		t.Fatalf("NextTimer = %v,%v, want the 5ms deadline", when, ok)
+	}
+	c.AdvanceTo(when)
+	if got := c.Fired(); got != 1 {
+		t.Fatalf("Fired = %d after stepping to first deadline, want 1", got)
+	}
+	if got := c.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", got)
+	}
+	// AdvanceTo into the past is a no-op.
+	c.AdvanceTo(c.Now().Add(-time.Hour))
+	if got := c.Fired(); got != 1 {
+		t.Fatalf("Fired = %d after no-op advance, want 1", got)
+	}
+}
+
+// Ticker on a manual clock: ticks are delivered from inside Advance,
+// one buffered tick per drain, and Stop ends the chain.
+func TestVirtualTicker(t *testing.T) {
+	c := NewManualClock()
+	tk := NewTicker(c, 10*time.Millisecond)
+	defer tk.Stop()
+
+	c.Advance(9 * time.Millisecond)
+	select {
+	case <-tk.C:
+		t.Fatal("tick before the interval elapsed")
+	default:
+	}
+	c.Advance(time.Millisecond)
+	select {
+	case now := <-tk.C:
+		if !now.Equal(c.Now()) {
+			t.Fatalf("tick carries %v, want %v", now, c.Now())
+		}
+	default:
+		t.Fatal("no tick at the interval boundary")
+	}
+	// An advance spanning many intervals leaves at most one buffered
+	// tick, like time.Ticker under a slow receiver.
+	c.Advance(100 * time.Millisecond)
+	<-tk.C
+	select {
+	case <-tk.C:
+		t.Fatal("more than one buffered tick")
+	default:
+	}
+	tk.Stop()
+	c.Advance(time.Second)
+	select {
+	case <-tk.C:
+		t.Fatal("tick after Stop")
+	default:
+	}
+}
+
+func TestVirtualTimer(t *testing.T) {
+	c := NewManualClock()
+	tm := NewTimer(c, 25*time.Millisecond)
+	c.Advance(30 * time.Millisecond)
+	select {
+	case <-tm.C:
+	default:
+		t.Fatal("timer did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing reported cancellation")
+	}
+
+	tm2 := NewTimer(c, time.Minute)
+	if !tm2.Stop() {
+		t.Fatal("Stop before firing reported no-op")
+	}
+	c.Advance(2 * time.Minute)
+	select {
+	case <-tm2.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/harmless-sdn/harmless/internal/stats"
@@ -50,14 +51,25 @@ type LinkConfig struct {
 	// Seed seeds the loss process; links with the same seed drop the
 	// same frames.
 	Seed int64
+	// Scheduler switches async mode to virtual-time delivery: instead
+	// of pump goroutines sleeping on the wall clock, every frame is
+	// scheduled as a Scheduler callback at its modeled arrival instant
+	// (departure per the serialization horizon, plus Latency). FIFO
+	// order per direction is preserved — arrival instants are
+	// monotonic per sender and equal deadlines fire in registration
+	// order. QueueLen bounds the frames in flight per direction
+	// (tail-drop beyond it); RxBatch is not used. Ignored unless Async
+	// is set.
+	Scheduler Scheduler
 	// Name is used in diagnostics.
 	Name string
 }
 
 // Link is a full-duplex point-to-point link with two Ports.
 type Link struct {
-	cfg  LinkConfig
-	a, b *Port
+	cfg   LinkConfig
+	sched Scheduler // non-nil: virtual-time async delivery
+	a, b  *Port
 
 	lossMu sync.Mutex
 	rng    *rand.Rand
@@ -78,8 +90,11 @@ type Port struct {
 	receiver      Receiver
 	batchReceiver BatchReceiver
 
-	// async state (nil in sync mode)
+	// async state (nil in sync and virtual modes)
 	queue chan []byte
+	// inflight counts scheduled-but-undelivered frames sent by this
+	// port (virtual mode's queue occupancy, tail-dropped at QueueLen)
+	inflight atomic.Int64
 	// timing model state, owned by the sender side
 	timeMu   sync.Mutex
 	nextFree time.Time
@@ -101,7 +116,10 @@ func NewLink(cfg LinkConfig) *Link {
 	l.a = &Port{link: l, name: cfg.Name + "/A"}
 	l.b = &Port{link: l, name: cfg.Name + "/B"}
 	l.a.peer, l.b.peer = l.b, l.a
-	if cfg.Async {
+	switch {
+	case cfg.Async && cfg.Scheduler != nil:
+		l.sched = cfg.Scheduler // virtual time: no pumps, no queues
+	case cfg.Async:
 		l.a.queue = make(chan []byte, cfg.QueueLen)
 		l.b.queue = make(chan []byte, cfg.QueueLen)
 		go l.pump(l.a) // drains frames sent BY a, delivers to b
@@ -176,10 +194,19 @@ func (l *Link) pump(p *Port) {
 	}
 }
 
+// now reads the link's timeline: the scheduler's in virtual mode, the
+// wall clock otherwise.
+func (l *Link) now() time.Time {
+	if l.sched != nil {
+		return l.sched.Now()
+	}
+	return time.Now()
+}
+
 // schedule computes the arrival time of a frame of size n sent by p,
 // advancing the sender's serialization horizon.
 func (l *Link) schedule(p *Port, n int) time.Time {
-	now := time.Now()
+	now := l.now()
 	p.timeMu.Lock()
 	start := p.nextFree
 	if start.Before(now) {
@@ -251,6 +278,24 @@ func (p *Port) Send(frame []byte) error {
 		p.counters.TxDropped.Inc()
 		return nil
 	}
+	if l := p.link; l.sched != nil { // virtual-time async delivery
+		if p.inflight.Load() >= int64(l.cfg.QueueLen) {
+			p.counters.TxDropped.Inc()
+			return nil
+		}
+		p.inflight.Add(1)
+		arrival := l.schedule(p, len(frame))
+		l.sched.AfterFunc(arrival.Sub(l.sched.Now()), func() {
+			p.inflight.Add(-1)
+			select {
+			case <-l.done:
+				return
+			default:
+			}
+			p.peer.deliver(frame)
+		})
+		return nil
+	}
 	if p.queue == nil { // synchronous
 		p.peer.deliver(frame)
 		return nil
@@ -278,7 +323,7 @@ func (p *Port) SendBatch(frames [][]byte) error {
 		return ErrLinkClosed
 	default:
 	}
-	if p.queue == nil && p.link.rng == nil {
+	if p.queue == nil && p.link.sched == nil && p.link.rng == nil {
 		var bytes uint64
 		for _, f := range frames {
 			bytes += uint64(len(f))

@@ -1,0 +1,95 @@
+package netem
+
+import (
+	"sync"
+	"time"
+)
+
+// Timer mirrors time.Timer over an arbitrary Clock: C receives the
+// clock's Now once, roughly d after creation. On a Scheduler clock the
+// send happens from inside the clock's advance; on other clocks (or
+// nil) it falls back to the runtime timer wheel. The channel has a
+// one-slot buffer, so the send never blocks the advancing goroutine.
+type Timer struct {
+	C    <-chan time.Time
+	stop func() bool
+}
+
+// Stop cancels the timer; it reports whether it prevented the send.
+func (t *Timer) Stop() bool { return t.stop() }
+
+// NewTimer returns a Timer that fires once after d on c's timeline.
+func NewTimer(c Clock, d time.Duration) *Timer {
+	s := schedulerFor(c)
+	ch := make(chan time.Time, 1)
+	cancel := s.AfterFunc(d, func() {
+		select {
+		case ch <- s.Now():
+		default:
+		}
+	})
+	return &Timer{C: ch, stop: cancel}
+}
+
+// Ticker mirrors time.Ticker over an arbitrary Clock: C receives the
+// clock's Now every d. On a Scheduler clock ticks are delivered from
+// inside the clock's advance; an Advance spanning several intervals
+// delivers at most one buffered tick per drain, like time.Ticker under
+// a slow receiver.
+type Ticker struct {
+	C <-chan time.Time
+
+	mu      sync.Mutex
+	cancel  func() bool
+	stopped bool
+}
+
+// Stop ends the tick stream. It does not close C.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped = true
+	if t.cancel != nil {
+		t.cancel()
+	}
+}
+
+// NewTicker returns a Ticker with period d on c's timeline. d must be
+// positive, like time.NewTicker.
+func NewTicker(c Clock, d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("netem: non-positive Ticker interval")
+	}
+	s := schedulerFor(c)
+	ch := make(chan time.Time, 1)
+	t := &Ticker{C: ch}
+	var arm func()
+	arm = func() {
+		t.cancel = s.AfterFunc(d, func() {
+			t.mu.Lock()
+			if t.stopped {
+				t.mu.Unlock()
+				return
+			}
+			arm() // re-arm first so Stop can always cancel the chain
+			t.mu.Unlock()
+			select {
+			case ch <- s.Now():
+			default:
+			}
+		})
+	}
+	t.mu.Lock()
+	arm()
+	t.mu.Unlock()
+	return t
+}
+
+// schedulerFor adapts any Clock to a Scheduler: Schedulers pass
+// through, everything else (including nil) schedules on real time.
+func schedulerFor(c Clock) Scheduler {
+	if s, ok := c.(Scheduler); ok && s != nil {
+		return s
+	}
+	return RealClock{}
+}

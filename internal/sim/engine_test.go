@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The event loop drains timers in virtual order, including callbacks
+// that schedule further work, without consuming wall time.
+func TestEngineRunDrains(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() {
+		order = append(order, 1)
+		e.After(10*time.Millisecond, func() { order = append(order, 2) })
+	})
+	st, err := e.Run(RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained {
+		t.Error("queue not drained")
+	}
+	if st.Events != 3 {
+		t.Errorf("Events = %d, want 3", st.Events)
+	}
+	if st.VirtualEnd != 30*time.Millisecond {
+		t.Errorf("VirtualEnd = %v, want 30ms", st.VirtualEnd)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("firing order %v, want [1 2 3]", order)
+	}
+}
+
+// Until stops at the horizon, leaving later events pending, and pins
+// virtual time to exactly the horizon.
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(2)
+	ran := 0
+	e.At(5*time.Millisecond, func() { ran++ })
+	e.At(50*time.Millisecond, func() { ran++ })
+	st, err := e.Run(RunOpts{Until: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 || st.Events != 1 {
+		t.Errorf("fired %d/%d events, want 1 before the horizon", ran, st.Events)
+	}
+	if st.Drained {
+		t.Error("Drained with an event pending past the horizon")
+	}
+	if st.VirtualEnd != 20*time.Millisecond {
+		t.Errorf("VirtualEnd = %v, want exactly the 20ms horizon", st.VirtualEnd)
+	}
+	if e.Clock().PendingTimers() != 1 {
+		t.Errorf("pending = %d, want the 50ms event still queued", e.Clock().PendingTimers())
+	}
+}
+
+// MaxEvents aborts a self-rescheduling loop.
+func TestEngineRunMaxEvents(t *testing.T) {
+	e := NewEngine(3)
+	var tick func()
+	tick = func() { e.After(time.Millisecond, tick) }
+	e.After(time.Millisecond, tick)
+	st, err := e.Run(RunOpts{MaxEvents: 1000})
+	if !errors.Is(err, ErrMaxEvents) {
+		t.Fatalf("err = %v, want ErrMaxEvents", err)
+	}
+	if st.Events != 1000 {
+		t.Errorf("Events = %d, want 1000", st.Events)
+	}
+}
+
+// Same seed, same PRNG stream and virtual schedule.
+func TestEngineSeededDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(77)
+		var draws []int64
+		for i := 0; i < 100; i++ {
+			e.After(time.Duration(i)*time.Millisecond, func() {
+				draws = append(draws, e.Rand().Int63())
+			})
+		}
+		if _, err := e.Run(RunOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed runs diverge at draw %d", i)
+		}
+	}
+}

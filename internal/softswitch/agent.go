@@ -8,6 +8,7 @@ import (
 
 	"github.com/harmless-sdn/harmless/internal/controlplane"
 	"github.com/harmless-sdn/harmless/internal/flowtable"
+	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/openflow"
 )
 
@@ -93,8 +94,11 @@ func (a *Agent) Stop() {
 // Done is closed when the agent terminates.
 func (a *Agent) Done() <-chan struct{} { return a.done }
 
+// sweeper drives periodic flow expiry on the switch's clock: wall
+// time normally, virtual time when the switch was built WithClock on a
+// netem.Scheduler (the fleet simulator's idle aging).
 func (a *Agent) sweeper(interval time.Duration) {
-	t := time.NewTicker(interval)
+	t := netem.NewTicker(a.sw.clock, interval)
 	defer t.Stop()
 	for {
 		select {

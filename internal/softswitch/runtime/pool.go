@@ -51,9 +51,9 @@ import (
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/harmless-sdn/harmless/internal/dataplane"
+	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/pkt"
 	"github.com/harmless-sdn/harmless/internal/softswitch"
 	"github.com/harmless-sdn/harmless/internal/stats"
@@ -91,6 +91,10 @@ type Config struct {
 	// Size the table with Shards == Workers: the RSS flow pinning then
 	// makes every shard effectively single-writer.
 	Telemetry *telemetry.Table
+	// Clock supplies the timestamps of the telemetry sweeps and the
+	// final flush (default: the wall clock). Inject a virtual clock to
+	// run the pool's idle-aging timers on simulated time.
+	Clock netem.Clock
 }
 
 // PoolStats is a point-in-time snapshot of pool (or single-worker)
@@ -158,6 +162,9 @@ func New(sw *softswitch.Switch, cfg Config) *Pool {
 	}
 	if cfg.YieldPolls <= 0 {
 		cfg.YieldPolls = 32
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = netem.RealClock{}
 	}
 	p := &Pool{
 		sw:       sw,
@@ -289,7 +296,7 @@ func (p *Pool) Stop() {
 				// remaining telemetry records so exported totals catch
 				// up with the datapath counters before Stop returns.
 				if t := p.cfg.Telemetry; t != nil {
-					t.FlushAll(time.Now().UnixNano())
+					t.FlushAll(p.cfg.Clock.Now().UnixNano())
 				}
 				return
 			}
@@ -345,7 +352,7 @@ func (p *Pool) run(w *worker) {
 			// mutex-guarded per shard, so sweeping another worker's
 			// shard here is merely redundant, never racy.
 			if t := p.cfg.Telemetry; t != nil {
-				t.Sweep(time.Now().UnixNano())
+				t.Sweep(p.cfg.Clock.Now().UnixNano())
 			}
 			// Park. Publish the flag first, then re-check the ring: a
 			// producer that pushed after our empty poll must now see

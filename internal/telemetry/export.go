@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/stats"
 )
 
@@ -148,6 +149,7 @@ type Aggregator struct {
 	table    *Table
 	exporter Exporter
 	interval time.Duration
+	clock    netem.Clock
 
 	mu      sync.Mutex
 	enc     Encoder
@@ -178,6 +180,7 @@ func NewAggregator(t *Table, exp Exporter, flush time.Duration) *Aggregator {
 		table:    t,
 		exporter: exp,
 		interval: flush,
+		clock:    netem.RealClock{},
 		enc:      Encoder{Domain: 1},
 		pending:  make(map[biKey]*pendingFlow),
 		stopC:    make(chan struct{}),
@@ -185,11 +188,21 @@ func NewAggregator(t *Table, exp Exporter, flush time.Duration) *Aggregator {
 	}
 }
 
+// SetClock makes the flush timer and export timestamps run on c —
+// virtual time when c is a netem.Scheduler (the fleet simulator's
+// export timers). Call before Start; the default is the wall clock.
+func (a *Aggregator) SetClock(c netem.Clock) *Aggregator {
+	if c != nil {
+		a.clock = c
+	}
+	return a
+}
+
 // Start spawns the drain/flush loop.
 func (a *Aggregator) Start() {
 	go func() {
 		defer close(a.doneC)
-		tick := time.NewTicker(a.interval)
+		tick := netem.NewTicker(a.clock, a.interval)
 		defer tick.Stop()
 		for {
 			select {
@@ -246,7 +259,7 @@ func (a *Aggregator) Flush() {
 			a.biflows.Inc()
 		}
 	}
-	n, err := a.enc.Encode(flows, a.samples, uint32(time.Now().Unix()), a.exporter.ExportMessage)
+	n, err := a.enc.Encode(flows, a.samples, uint32(a.clock.Now().Unix()), a.exporter.ExportMessage)
 	a.msgs.Add(uint64(n))
 	if err != nil {
 		a.errs.Inc()
