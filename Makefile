@@ -14,14 +14,18 @@ SHELL := /bin/bash -o pipefail
 
 all: ci
 
+# Keep in sync with the staticcheck step in .github/workflows/ci.yml.
+STATICCHECK_VERSION := 2024.1.1
+
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/harmlesslint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+		echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; fi
 	$(MAKE) fuzz-smoke
 
 # ~10s per openflow fuzz target (keep in sync with the lint job in

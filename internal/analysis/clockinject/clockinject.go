@@ -1,0 +1,87 @@
+// Package clockinject flags direct wall-clock reads in packages whose
+// time-dependent behavior must run on an injected netem.Clock.
+//
+// The fleet-scale simulator (internal/sim, cmd/fleetsim) compresses
+// hours of fabric time into milliseconds by driving every layer from a
+// virtual clock. One stray time.Now or time.Sleep silently splits the
+// timeline: timestamps jump between 2017 (the virtual epoch) and the
+// host's wall clock, sleeps stall a simulation that never advances
+// real time, and determinism — the bitwise-identical verdict digests
+// the CI smoke run compares — is gone. So inside the clock-injected
+// subtrees (sim, netem, controlplane, telemetry, softswitch, fabric),
+// non-test code must not call the time package's clock-reading or
+// timer functions directly; it takes a netem.Clock (or Scheduler) and
+// uses netem.NewTimer / netem.NewTicker for waits.
+//
+// The wall clock is still legitimate in a few places — RealClock
+// itself, the async real-time link pump, wall-duration run reports —
+// and those carry a //harmless:allow-wallclock <reason> escape hatch.
+package clockinject
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"github.com/harmless-sdn/harmless/internal/analysis"
+)
+
+// Analyzer is the clockinject pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockinject",
+	Doc:  "flags direct time.Now/Sleep/After/... in clock-injected packages",
+	Run:  run,
+}
+
+// Scope selects the packages the invariant applies to, by import
+// path segment. The six subtrees here all grew clock injection by
+// PR 6; new clock-injected packages join by extending the list.
+var Scope = regexp.MustCompile(`(^|/)(sim|netem|controlplane|telemetry|softswitch|fabric)(/|$)`)
+
+// denied is the set of time-package functions that read or schedule on
+// the wall clock. time.Since/Until are included: both read time.Now
+// internally.
+var denied = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+const hatch = "allow-wallclock"
+
+func run(pass *analysis.Pass) error {
+	if !Scope.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !denied[sel.Sel.Name] {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if pass.Suppressed(sel.Pos(), hatch) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"wall clock: time.%s in clock-injected package %q; take a netem.Clock (or add //harmless:allow-wallclock <reason>)",
+				sel.Sel.Name, pass.Pkg.Path())
+			return true
+		})
+	}
+	pass.ReportUnused(hatch)
+	return nil
+}

@@ -1,0 +1,41 @@
+package clockinject_test
+
+import (
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/analysis/analysistest"
+	"github.com/harmless-sdn/harmless/internal/analysis/clockinject"
+)
+
+func TestClockInject(t *testing.T) {
+	analysistest.Run(t, "testdata/src/netem", "netem", clockinject.Analyzer)
+}
+
+func TestClockInjectOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/outofscope", "outofscope", clockinject.Analyzer)
+}
+
+func TestScopeCoversRepoPackages(t *testing.T) {
+	for _, path := range []string{
+		"github.com/harmless-sdn/harmless/internal/sim",
+		"github.com/harmless-sdn/harmless/internal/netem",
+		"github.com/harmless-sdn/harmless/internal/controlplane",
+		"github.com/harmless-sdn/harmless/internal/telemetry",
+		"github.com/harmless-sdn/harmless/internal/softswitch",
+		"github.com/harmless-sdn/harmless/internal/softswitch/runtime",
+		"github.com/harmless-sdn/harmless/internal/fabric",
+	} {
+		if !clockinject.Scope.MatchString(path) {
+			t.Errorf("scope must cover %s", path)
+		}
+	}
+	for _, path := range []string{
+		"github.com/harmless-sdn/harmless/internal/openflow",
+		"github.com/harmless-sdn/harmless/internal/stats",
+		"github.com/harmless-sdn/harmless/cmd/harmlessd",
+	} {
+		if clockinject.Scope.MatchString(path) {
+			t.Errorf("scope must not cover %s", path)
+		}
+	}
+}

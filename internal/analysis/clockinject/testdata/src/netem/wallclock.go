@@ -1,0 +1,33 @@
+// Package netem is a clockinject fixture: its package path lands in
+// the analyzer's scope, so direct time-package clock reads must be
+// diagnosed unless escape-hatched.
+package netem
+
+import "time"
+
+func violations() {
+	_ = time.Now()                   // want "wall clock: time.Now"
+	time.Sleep(time.Millisecond)     // want "wall clock: time.Sleep"
+	<-time.After(time.Millisecond)   // want "wall clock: time.After"
+	_ = time.Tick(time.Second)       // want "wall clock: time.Tick"
+	_ = time.NewTimer(time.Second)   // want "wall clock: time.NewTimer"
+	_ = time.NewTicker(time.Second)  // want "wall clock: time.NewTicker"
+	_ = time.Since(time.Time{})      // want "wall clock: time.Since"
+	_ = time.Until(time.Time{})      // want "wall clock: time.Until"
+	_ = time.AfterFunc(0, func() {}) // want "wall clock: time.AfterFunc"
+	f := time.Now                    // want "wall clock: time.Now"
+	_ = f
+}
+
+func allowed() {
+	_ = time.Now() //harmless:allow-wallclock this fixture line is the wall clock by design
+	//harmless:allow-wallclock hatch on the line above also covers this one
+	time.Sleep(time.Millisecond)
+	_ = time.Now() //harmless:allow-wallclock // want "needs a reason"
+}
+
+//harmless:allow-wallclock nothing on the next line uses the clock // want "unused //harmless:allow-wallclock"
+func clean() {
+	_ = time.Duration(3) // time arithmetic without the clock is fine
+	_ = time.Date(2017, 8, 22, 0, 0, 0, 0, time.UTC).Unix()
+}

@@ -1,0 +1,11 @@
+// Package outofscope is not in clockinject's scope: wall-clock reads
+// here are fine, and even an unused escape hatch must not be reported.
+package outofscope
+
+import "time"
+
+//harmless:allow-wallclock never consulted because the package is out of scope
+func wall() int64 {
+	time.Sleep(0)
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,12 @@
+package frameown_test
+
+import (
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/analysis/analysistest"
+	"github.com/harmless-sdn/harmless/internal/analysis/frameown"
+)
+
+func TestFrameOwn(t *testing.T) {
+	analysistest.Run(t, "testdata/src/frameown", "frameown", frameown.Analyzer)
+}

@@ -1,0 +1,66 @@
+// Package frameown is the frameown fixture: batch frame slices that
+// escape the dispatch call must be diagnosed; copies, locals and
+// hatched hand-offs must not.
+package frameown
+
+import (
+	"bytes"
+
+	"github.com/harmless-sdn/harmless/internal/dataplane"
+)
+
+type sniffer struct {
+	last    []byte
+	history [][]byte
+	samples map[int][]byte
+}
+
+var lastSeen []byte
+
+var captureBuf [][]byte
+
+func fieldStore(s *sniffer, b *dataplane.Batch) {
+	s.last = b.Frames[0] // want "assignment to struct field last"
+	for _, f := range b.Frames {
+		s.history = append(s.history, f) // want "assignment to struct field history"
+	}
+	s.samples[0] = b.Frames[0] // want "assignment to element of struct field samples"
+}
+
+func globalStore(b *dataplane.Batch) {
+	lastSeen = b.Frames[0]                       // want "assignment to package-level variable"
+	captureBuf = append(captureBuf, b.Frames[0]) // want "assignment to package-level variable"
+}
+
+func viaLocal(s *sniffer, b *dataplane.Batch) {
+	f := b.Frames[0] // a local alias is fine on its own...
+	hdr := f[:14]
+	s.last = hdr // want "assignment to struct field last"
+}
+
+func channelSend(b *dataplane.Batch, out chan []byte) {
+	out <- b.Frames[0] // want "channel send"
+	f := b.Frames[1][2:]
+	out <- f // want "channel send"
+}
+
+func copies(s *sniffer, b *dataplane.Batch, out chan []byte) {
+	// Ellipsis append and bytes.Clone copy the payload out of the
+	// producer's buffer: the stored slice owns its memory.
+	s.last = append([]byte(nil), b.Frames[0]...)
+	s.last = bytes.Clone(b.Frames[0])
+	out <- bytes.Clone(b.Frames[1])
+	n := len(b.Frames[0]) // scalar reads never retain
+	_ = n
+}
+
+func hatched(s *sniffer, b *dataplane.Batch) {
+	// The switch owns this batch until Reset; documented hand-off.
+	s.last = b.Frames[0] //harmless:allow-retain frames are pooled per switch and stable until Reset
+}
+
+func notABatch(s *sniffer) {
+	// A Frames field on some other type is not tracked.
+	v := struct{ Frames [][]byte }{}
+	s.last = v.Frames[0]
+}

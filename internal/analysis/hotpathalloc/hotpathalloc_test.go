@@ -1,0 +1,16 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/analysis/analysistest"
+	"github.com/harmless-sdn/harmless/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hotpath", "hotpath", hotpathalloc.Analyzer)
+}
+
+func TestRequiredAnnotation(t *testing.T) {
+	analysistest.Run(t, "testdata/src/required", "hotpathalloc/required", hotpathalloc.Analyzer)
+}

@@ -1,0 +1,62 @@
+// Package hotpath is the hotpathalloc fixture: annotated functions
+// must have every allocating construct diagnosed or excused, and
+// unannotated functions are left alone.
+package hotpath
+
+func sink(any)        {}
+func take(p *int) any { return p }
+
+//harmless:hotpath
+func hot() any {
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	s := []int{1}       // want "slice literal allocates"
+	s = append(s, 2)    // want "append may allocate on growth"
+	_ = new(int)        // want "new allocates"
+	_ = make([]byte, 8) // want "make allocates"
+	p := &point{x: 1}   // want "&composite literal allocates"
+	_ = p
+	b := []byte("conv") // want "conversion between string and byte/rune slice allocates"
+	_ = string(b)       // want "conversion between string and byte/rune slice allocates"
+	f := func() {}      // want "function literal allocates"
+	go f()              // want "go statement allocates a goroutine"
+	sink(42)            // want "argument boxed into interface"
+	sink(s)             // want "argument boxed into interface"
+	var out any
+	out = point{} // want "value boxed into interface"
+	_ = out
+	return point{x: 2} // want "value boxed into interface"
+}
+
+//harmless:hotpath
+func hotClean(p *point, buf []byte) int {
+	// None of this allocates: pointer-shaped values into interfaces,
+	// stack struct values, builtin clear/copy/len, arithmetic.
+	sink(p)
+	sink(nil)
+	var local point
+	local.x = len(buf)
+	clear(buf)
+	n := copy(buf, buf)
+	return local.x + n
+}
+
+//harmless:hotpath
+func hotExcused() *point {
+	// The install path of a cache miss is cold; the hatch documents it.
+	return &point{x: 3} //harmless:allow-alloc install path runs once per new flow, not per packet
+}
+
+//harmless:hotpath
+func hotBadHatch() {
+	_ = make([]int, 1) //harmless:allow-alloc // want "needs a reason"
+	//harmless:allow-alloc nothing allocates on the next line // want "unused //harmless:allow-alloc"
+	_ = len("x")
+}
+
+func cold() map[int]int {
+	// Unannotated: allocate freely.
+	return map[int]int{1: 1}
+}
+
+type point struct{ x int }

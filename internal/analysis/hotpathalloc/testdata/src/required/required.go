@@ -1,0 +1,9 @@
+// Package required exercises the Required table: this fixture package
+// path is registered in hotpathalloc.Required, so mustBeHot must carry
+// the annotation.
+package required
+
+func mustBeHot() int { return 1 } // want "declared zero-alloc hot path and must be annotated"
+
+//harmless:hotpath
+func alreadyHot() int { return 2 }

@@ -1,0 +1,353 @@
+// Package shardlock guards the repo's single-writer shard discipline.
+//
+// The datapath scales by giving every worker its own shard — a
+// stats.ShardedCounter slot, a telemetry shard, a cache shard — and
+// the whole point is that shard state is touched either by exactly one
+// writer or through sync/atomic, never a mix. Two mistakes quietly
+// break that:
+//
+//   - copying a struct that embeds a lock or a shard: the copy carries
+//     the mutex/atomic state away from the memory every other
+//     goroutine synchronizes on (go vet's copylocks catches the
+//     stdlib cases; this analyzer adds the repo's own no-copy types,
+//     stats.ShardedCounter first among them);
+//   - accessing the same struct field both through sync/atomic and by
+//     plain assignment: the plain write races every atomic reader,
+//     and the race detector only sees it on schedules that interleave.
+//
+// Diagnostics are suppressed line by line with
+// //harmless:allow-copy <reason> or //harmless:allow-mixed <reason>
+// (a constructor initializing a field before the struct is published
+// is the classic legitimate mix).
+package shardlock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/harmless-sdn/harmless/internal/analysis"
+)
+
+// Analyzer is the shardlock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardlock",
+	Doc:  "flags copies of lock/shard-holding structs and mixed atomic/plain field access",
+	Run:  run,
+}
+
+const (
+	hatchCopy  = "allow-copy"
+	hatchMixed = "allow-mixed"
+)
+
+func run(pass *analysis.Pass) error {
+	checkMixedAtomics(pass)
+	checkCopies(pass)
+	pass.ReportUnused(hatchCopy, hatchMixed)
+	return nil
+}
+
+// --- mixed atomic / plain access ------------------------------------
+
+// atomicOp reports whether name is one of sync/atomic's pointer-based
+// operations (AddUint64, LoadInt32, StoreUint64, SwapPointer,
+// CompareAndSwapUint64, ...).
+func atomicOp(name string) bool {
+	for _, p := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMixedAtomics collects every struct field passed by address to a
+// sync/atomic operation, then reports every plain write to one of
+// those fields in the same package.
+func checkMixedAtomics(pass *analysis.Pass) {
+	atomicFields := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !atomicOp(sel.Sel.Name) {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "sync/atomic" {
+				return true
+			}
+			if fv := addressedField(pass, call.Args[0]); fv != nil {
+				atomicFields[fv] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var targets []ast.Expr
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				targets = x.Lhs
+			case *ast.IncDecStmt:
+				targets = []ast.Expr{x.X}
+			default:
+				return true
+			}
+			for _, lhs := range targets {
+				fv := fieldOf(pass, lhs)
+				if fv == nil || !atomicFields[fv] {
+					continue
+				}
+				if pass.Suppressed(lhs.Pos(), hatchMixed) {
+					continue
+				}
+				pass.Reportf(lhs.Pos(),
+					"mixed access: field %s is written with sync/atomic elsewhere in this package; plain write races atomic readers (or add //harmless:allow-mixed <reason>)",
+					fv.Name())
+			}
+			return true
+		})
+	}
+}
+
+// addressedField resolves &x.f to the field object f, or nil.
+func addressedField(pass *analysis.Pass, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	return fieldOf(pass, u.X)
+}
+
+// fieldOf resolves a selector expression to the struct field it names,
+// or nil for anything else.
+func fieldOf(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// --- lock/shard copies ----------------------------------------------
+
+// checkCopies flags by-value movement of no-copy types: value
+// receivers, parameters and results; assignments from addressable
+// expressions; range over containers of no-copy elements; and call
+// arguments.
+func checkCopies(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, x)
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					// `_ = x` evaluates without copying anywhere shared.
+					if i < len(x.Lhs) && isBlank(x.Lhs[i]) {
+						continue
+					}
+					reportCopy(pass, rhs, "assignment copies")
+				}
+			case *ast.RangeStmt:
+				if x.Value == nil {
+					return true
+				}
+				if t := rangeValueType(pass, x.Value); t != nil {
+					if c := nocopyComponent(t); c != "" && !pass.Suppressed(x.Value.Pos(), hatchCopy) {
+						pass.Reportf(x.Value.Pos(), "range copies %s which contains %s; iterate by index", typeString(t), c)
+					}
+				}
+			case *ast.CallExpr:
+				if isConversion(pass, x) {
+					return true
+				}
+				for _, arg := range x.Args {
+					reportCopy(pass, arg, "call passes")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range x.Results {
+					reportCopy(pass, res, "return copies")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportCopy flags expr when it copies a no-copy value out of an
+// addressable location. Composite literals and calls construct fresh
+// values — moving those is fine.
+func reportCopy(pass *analysis.Pass, expr ast.Expr, what string) {
+	if !addressable(expr) {
+		return
+	}
+	t := typeOf(pass, expr)
+	if t == nil {
+		return
+	}
+	if c := nocopyComponent(t); c != "" && !pass.Suppressed(expr.Pos(), hatchCopy) {
+		pass.Reportf(expr.Pos(), "%s %s by value, which contains %s; use a pointer", what, typeString(t), c)
+	}
+}
+
+// checkFuncSig flags no-copy types moved by value through a function
+// signature.
+func checkFuncSig(pass *analysis.Pass, fn *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := typeOf(pass, field.Type)
+			if t == nil {
+				continue
+			}
+			if c := nocopyComponent(t); c != "" && !pass.Suppressed(field.Type.Pos(), hatchCopy) {
+				pass.Reportf(field.Type.Pos(), "%s %s by value, which contains %s; use a pointer", what, typeString(t), c)
+			}
+		}
+	}
+	check(fn.Recv, "receiver takes")
+	check(fn.Type.Params, "parameter takes")
+	check(fn.Type.Results, "result returns")
+}
+
+// addressable approximates "reads an existing memory location":
+// identifiers, selectors, indexing and dereferences — not composite
+// literals or function calls, whose results are fresh values.
+func addressable(expr ast.Expr) bool {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return x.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// isBlank reports whether expr is the blank identifier.
+func isBlank(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// nocopyComponent returns the name of the first no-copy component
+// found inside t (descending through named types, struct fields and
+// array elements — not pointers, slices or maps, whose copies alias),
+// or "".
+func nocopyComponent(t types.Type) string {
+	return findNocopy(t, make(map[types.Type]bool))
+}
+
+func findNocopy(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if name := nocopyNamed(named); name != "" {
+			return name
+		}
+		return findNocopy(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := findNocopy(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return findNocopy(u.Elem(), seen)
+	}
+	return ""
+}
+
+// nocopyNamed classifies a named type itself as no-copy: the sync and
+// sync/atomic primitives, this repo's sharded counters, and anything
+// with a pointer-receiver Lock method (the go vet copylocks
+// heuristic).
+func nocopyNamed(named *types.Named) string {
+	obj := named.Obj()
+	pkg := obj.Pkg()
+	if pkg != nil {
+		switch pkg.Path() {
+		case "sync":
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		case "sync/atomic":
+			return "atomic." + obj.Name()
+		}
+		if strings.HasSuffix(pkg.Path(), "internal/stats") {
+			switch obj.Name() {
+			case "ShardedCounter", "Counter":
+				return "stats." + obj.Name()
+			}
+		}
+	}
+	// Pointer-receiver Lock(): the type synchronizes through its
+	// address, so a copy desynchronizes.
+	ms := types.NewMethodSet(types.NewPointer(named))
+	if lock := ms.Lookup(nil, "Lock"); lock != nil {
+		if sig, ok := lock.Type().(*types.Signature); ok &&
+			sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+			return typeString(named) + " (has Lock)"
+		}
+	}
+	return ""
+}
+
+// rangeValueType resolves the type of a range statement's value
+// variable, which lives in Defs (for :=) or Uses (for =) rather than
+// the Types map.
+func rangeValueType(pass *analysis.Pass, expr ast.Expr) types.Type {
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return typeOf(pass, expr)
+}
+
+// typeOf returns the static type of expr, or nil.
+func typeOf(pass *analysis.Pass, expr ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[expr]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// typeString renders t relative to nothing: short and stable for
+// diagnostics.
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

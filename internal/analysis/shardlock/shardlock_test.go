@@ -1,0 +1,12 @@
+package shardlock_test
+
+import (
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/analysis/analysistest"
+	"github.com/harmless-sdn/harmless/internal/analysis/shardlock"
+)
+
+func TestShardLock(t *testing.T) {
+	analysistest.Run(t, "testdata/src/shardlock", "shardlock", shardlock.Analyzer)
+}

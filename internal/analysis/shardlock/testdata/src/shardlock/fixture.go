@@ -1,0 +1,100 @@
+// Package shardlock is the shardlock fixture: lock/shard copies and
+// mixed atomic/plain field access must be diagnosed; pointer passing,
+// atomic-only access and hatched lines must not.
+package shardlock
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/harmless-sdn/harmless/internal/stats"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type shardHolder struct {
+	counters stats.ShardedCounter
+}
+
+type deepLock struct {
+	inner [2]guarded // lock two levels down still poisons the copy
+}
+
+var globalGuarded guarded
+
+func byValueParam(g guarded) {} // want "parameter takes shardlock.guarded by value, which contains sync.Mutex"
+
+func byValueReceiver() {
+	var g guarded
+	g2 := g // want "assignment copies shardlock.guarded by value, which contains sync.Mutex"
+	_ = g2
+	gp := &g // taking the address is fine
+	_ = gp
+	byPointerParam(&g)
+	c := globalGuarded // want "assignment copies shardlock.guarded by value"
+	_ = c
+}
+
+func (d deepLock) depth() {} // want "receiver takes shardlock.deepLock by value"
+
+func byPointerParam(*guarded) {}
+
+func copyShards(h *shardHolder) {
+	snapshot := h.counters // want "assignment copies stats.ShardedCounter by value, which contains stats.ShardedCounter"
+	_ = snapshot
+	_ = h.counters.Load() // reading through the pointer receiver is fine
+}
+
+func rangeCopies(gs []guarded) {
+	for _, g := range gs { // want "range copies shardlock.guarded which contains sync.Mutex"
+		_ = g
+	}
+	for i := range gs { // by index is the fix
+		gs[i].mu.Lock()
+		gs[i].mu.Unlock()
+	}
+}
+
+func freshValueOK() {
+	g := guarded{} // composite literal constructs in place: no copy
+	g.n = 1
+	_ = g.n
+}
+
+func hatched() {
+	var g guarded
+	g3 := g //harmless:allow-copy the struct is not yet shared with any goroutine
+	_ = g3
+}
+
+// --- mixed atomic / plain access ------------------------------------
+
+type mixed struct {
+	hits  uint64
+	total uint64
+	cold  uint64
+}
+
+func (m *mixed) record() {
+	atomic.AddUint64(&m.hits, 1)
+	atomic.AddUint64(&m.total, 1)
+}
+
+func (m *mixed) reset() {
+	m.hits = 0 // want "mixed access: field hits is written with sync/atomic"
+	m.total++  // want "mixed access: field total is written with sync/atomic"
+	m.cold = 0 // never touched atomically: plain writes are fine
+}
+
+func (m *mixed) resetHatched() {
+	m.hits = 0 //harmless:allow-mixed construction-time reset before the struct is published
+}
+
+func (m *mixed) read() uint64 {
+	// Plain reads of atomic fields are not flagged (snapshots under a
+	// quiesced writer are idiomatic); only plain writes race.
+	return m.cold + atomic.LoadUint64(&m.hits)
+}

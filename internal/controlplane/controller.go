@@ -251,7 +251,7 @@ func (c *Controller) readLoop() {
 			c.teardown(fmt.Errorf("controlplane: channel read: %w", err))
 			return
 		}
-		c.lastRx.Store(time.Now().UnixNano())
+		c.lastRx.Store(c.cfg.Clock.Now().UnixNano())
 		c.dispatch(m)
 	}
 }

@@ -26,11 +26,25 @@ func (c CapturedFrame) Summary() string {
 // of the per-hop packet captures used to verify the Fig. 1 walk-through.
 type Capture struct {
 	mu     sync.Mutex
+	clock  netem.Clock
 	frames []CapturedFrame
 }
 
-// NewCapture returns an empty capture.
-func NewCapture() *Capture { return &Capture{} }
+// NewCapture returns an empty capture stamping frames with the wall
+// clock.
+func NewCapture() *Capture { return &Capture{clock: netem.RealClock{}} }
+
+// SetClock stamps subsequent frames with c — virtual time when c is a
+// netem.Scheduler, so captures from a simulated fabric carry the
+// simulation's own timestamps. nil is ignored.
+func (c *Capture) SetClock(clock netem.Clock) *Capture {
+	if clock != nil {
+		c.mu.Lock()
+		c.clock = clock
+		c.mu.Unlock()
+	}
+	return c
+}
 
 // record appends one frame (copying the bytes: taps observe frames
 // whose ownership belongs to the receiver).
@@ -38,7 +52,7 @@ func (c *Capture) record(point string, frame []byte) {
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
 	c.mu.Lock()
-	c.frames = append(c.frames, CapturedFrame{When: time.Now(), Data: cp, Point: point})
+	c.frames = append(c.frames, CapturedFrame{When: c.clock.Now(), Data: cp, Point: point})
 	c.mu.Unlock()
 }
 

@@ -38,7 +38,8 @@ type Host struct {
 	MAC  pkt.MAC
 	IP   pkt.IPv4
 
-	port *netem.Port
+	port  *netem.Port
+	clock netem.Clock
 
 	mu          sync.Mutex
 	arpTable    map[pkt.IPv4]pkt.MAC
@@ -56,6 +57,7 @@ type Host struct {
 func NewHost(name string, mac pkt.MAC, ip pkt.IPv4, port *netem.Port) *Host {
 	h := &Host{
 		Name: name, MAC: mac, IP: ip, port: port,
+		clock:       netem.RealClock{},
 		arpTable:    make(map[pkt.IPv4]pkt.MAC),
 		arpWait:     make(map[pkt.IPv4][]chan pkt.MAC),
 		udpQueue:    make(chan UDPMessage, 1024),
@@ -66,6 +68,23 @@ func NewHost(name string, mac pkt.MAC, ip pkt.IPv4, port *netem.Port) *Host {
 	port.SetReceiver(h.receive)
 	port.SetBatchReceiver(h.receiveBatch)
 	return h
+}
+
+// SetClock runs the host's timeouts (ARP, ping, UDP, TCP, DNS waits)
+// on c — virtual time when c is a netem.Scheduler. nil is ignored;
+// the default is the wall clock. Call before issuing blocking
+// operations.
+func (h *Host) SetClock(c netem.Clock) *Host {
+	if c != nil {
+		h.clock = c
+	}
+	return h
+}
+
+// after returns a one-shot timer for d on the host's clock. Callers
+// must Stop it.
+func (h *Host) after(d time.Duration) *netem.Timer {
+	return netem.NewTimer(h.clock, d)
 }
 
 // Stats returns (received, transmitted) frame counts.
@@ -181,10 +200,12 @@ func (h *Host) Resolve(ip pkt.IPv4, timeout time.Duration) (pkt.MAC, error) {
 		return pkt.MAC{}, err
 	}
 	h.send(req)
+	t := h.after(timeout)
+	defer t.Stop()
 	select {
 	case mac := <-ch:
 		return mac, nil
-	case <-time.After(timeout):
+	case <-t.C:
 		return pkt.MAC{}, fmt.Errorf("fabric: ARP for %s: %w", ip, ErrTimeout)
 	}
 }
@@ -248,10 +269,12 @@ func (h *Host) Ping(dst pkt.IPv4, timeout time.Duration) error {
 		return err
 	}
 	h.send(frame)
+	t := h.after(timeout)
+	defer t.Stop()
 	select {
 	case <-ch:
 		return nil
-	case <-time.After(timeout):
+	case <-t.C:
 		return fmt.Errorf("fabric: ping %s: %w", dst, ErrTimeout)
 	}
 }
@@ -314,10 +337,12 @@ func (h *Host) sendUDPTo(dstMAC pkt.MAC, dst pkt.IPv4, sport, dport uint16, payl
 // RecvUDP waits for the next queued datagram (for ports without a
 // registered handler).
 func (h *Host) RecvUDP(timeout time.Duration) (UDPMessage, error) {
+	t := h.after(timeout)
+	defer t.Stop()
 	select {
 	case m := <-h.udpQueue:
 		return m, nil
-	case <-time.After(timeout):
+	case <-t.C:
 		return UDPMessage{}, fmt.Errorf("fabric: recv udp: %w", ErrTimeout)
 	}
 }
@@ -344,9 +369,9 @@ func (h *Host) QueryDNS(server pkt.IPv4, name string, timeout time.Duration) (*p
 		return nil, err
 	}
 	h.send(frame)
-	deadline := time.Now().Add(timeout)
+	deadline := h.clock.Now().Add(timeout)
 	for {
-		remain := time.Until(deadline)
+		remain := deadline.Sub(h.clock.Now())
 		if remain <= 0 {
 			return nil, fmt.Errorf("fabric: DNS query %q: %w", name, ErrTimeout)
 		}

@@ -92,9 +92,11 @@ func (h *Host) GetTCP(dst pkt.IPv4, port uint16, request []byte, timeout time.Du
 	iss := conn.sndNxt
 	h.tcp.sendSegment(mac, dst, sport, port, iss, 0, pkt.TCPSyn, nil)
 	conn.sndNxt = iss + 1
+	synTimer := h.after(timeout)
 	select {
 	case <-conn.synAckCh:
-	case <-time.After(timeout):
+		synTimer.Stop()
+	case <-synTimer.C:
 		return nil, fmt.Errorf("fabric: TCP connect %s:%d: %w", dst, port, ErrTimeout)
 	}
 	// ACK + request (piggybacked).
@@ -106,10 +108,12 @@ func (h *Host) GetTCP(dst pkt.IPv4, port uint16, request []byte, timeout time.Du
 	conn.sndNxt += uint32(len(request))
 	h.tcp.mu.Unlock()
 
+	respTimer := h.after(timeout)
+	defer respTimer.Stop()
 	select {
 	case resp := <-conn.dataCh:
 		return resp, nil
-	case <-time.After(timeout):
+	case <-respTimer.C:
 		return nil, fmt.Errorf("fabric: TCP response %s:%d: %w", dst, port, ErrTimeout)
 	}
 }

@@ -27,6 +27,8 @@ type Deployment struct {
 	Hosts     map[int]*Host // keyed by legacy access port
 	Links     []*netem.Link
 	TrunkLink *netem.Link
+
+	clock netem.Clock // timebase for WaitConnected polling
 }
 
 // DeployConfig parameterizes BuildDeployment.
@@ -85,7 +87,10 @@ func BuildDeployment(cfg DeployConfig) (*Deployment, error) {
 	if cfg.NumPorts < 2 {
 		return nil, fmt.Errorf("fabric: need >= 2 ports")
 	}
-	d := &Deployment{Hosts: make(map[int]*Host)}
+	d := &Deployment{Hosts: make(map[int]*Host), clock: cfg.Clock}
+	if d.clock == nil {
+		d.clock = netem.RealClock{}
+	}
 	var opts []legacy.Option
 	if cfg.Clock != nil {
 		opts = append(opts, legacy.WithClock(cfg.Clock))
@@ -115,7 +120,7 @@ func BuildDeployment(cfg DeployConfig) (*Deployment, error) {
 		link := netem.NewLink(lc)
 		d.Links = append(d.Links, link)
 		d.Legacy.AttachPort(p, link.A())
-		d.Hosts[p] = NewHost(fmt.Sprintf("h%d", p), HostMAC(p), HostIP(p), link.B())
+		d.Hosts[p] = NewHost(fmt.Sprintf("h%d", p), HostMAC(p), HostIP(p), link.B()).SetClock(cfg.Clock)
 	}
 
 	// Trunk link between the legacy switch and SS_1.
@@ -181,18 +186,24 @@ func (d *Deployment) Close() {
 }
 
 // WaitConnected blocks until the controller has registered SS_2 and
-// its SwitchConnected hooks have installed their flows.
+// its SwitchConnected hooks have installed their flows. The poll runs
+// on the deployment's injected clock (DeployConfig.Clock), so under a
+// virtual timebase the wait consumes simulated, not wall, time.
 func (d *Deployment) WaitConnected(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	sleep := func(dur time.Duration) {
+		t := netem.NewTimer(d.clock, dur)
+		<-t.C
+	}
+	deadline := d.clock.Now().Add(timeout)
 	dpid := d.S4.SS2.DatapathID()
-	for time.Now().Before(deadline) {
+	for d.clock.Now().Before(deadline) {
 		if h, ok := d.Ctrl.Switch(dpid); ok {
 			// Fence with a barrier so proactive flows are in place.
 			_ = h.Barrier()
-			time.Sleep(10 * time.Millisecond)
+			sleep(10 * time.Millisecond)
 			return nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		sleep(2 * time.Millisecond)
 	}
 	return fmt.Errorf("fabric: controller never saw switch %#x: %w", dpid, ErrTimeout)
 }

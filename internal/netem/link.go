@@ -182,9 +182,10 @@ func (l *Link) pump(p *Port) {
 				continue
 			}
 			arrival := l.schedule(p, len(frame))
+			//harmless:allow-wallclock async mode paces real goroutines on wall time; virtual mode never reaches here
 			if d := time.Until(arrival); d > 0 {
 				select {
-				case <-time.After(d):
+				case <-time.After(d): //harmless:allow-wallclock same: async-mode pacing
 				case <-l.done:
 					return
 				}
@@ -200,7 +201,7 @@ func (l *Link) now() time.Time {
 	if l.sched != nil {
 		return l.sched.Now()
 	}
-	return time.Now()
+	return time.Now() //harmless:allow-wallclock fallback timeline when no scheduler is injected
 }
 
 // schedule computes the arrival time of a frame of size n sent by p,

@@ -156,6 +156,8 @@ func runWork(st *dispatchState) {
 // datapath. It may be called concurrently, like Receive. Ownership of
 // each frame transfers to the switch; the vector itself is borrowed
 // and may be reused once the call returns.
+//
+//harmless:hotpath
 func (s *Switch) ReceiveBatch(inPort uint32, frames [][]byte) {
 	if len(frames) == 0 {
 		return
@@ -176,6 +178,8 @@ func (s *Switch) ReceiveBatch(inPort uint32, frames [][]byte) {
 // the caller's (Reset to refill and reuse). The batch must carry a
 // Meta entry per frame — build it with Batch.Append; a meta-less
 // batch is rejected.
+//
+//harmless:hotpath
 func (s *Switch) ReceiveMixedBatch(b *dataplane.Batch) {
 	n := b.Len()
 	if n == 0 {
@@ -217,6 +221,8 @@ func (s *Switch) Receive(inPort uint32, frame []byte) {
 // flushing its egress at the end. Cross-switch patch deliveries are
 // queued on st's worklist rather than executed inline. meta, when
 // non-nil, receives the per-frame verdicts (ReceiveMixedBatch).
+//
+//harmless:hotpath
 func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState, meta []dataplane.Meta) {
 	if p := s.getPort(inPort); p != nil {
 		var bytes uint64
@@ -311,6 +317,8 @@ func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState,
 // when tel is nil or the frame was not classified) and the resolved
 // egress port — which the dispatch accumulates for the batch-level
 // ObserveBatch call.
+//
+//harmless:hotpath
 func (s *Switch) classifyAndRun(key *pkt.Key, inPort uint32, frame []byte, tel *telemetry.Table, tx *txContext) (dataplane.Verdict, *telemetry.Record, uint32) {
 	c := s.cache
 	if c == nil {
@@ -332,7 +340,7 @@ func (s *Switch) classifyAndRun(key *pkt.Key, inPort uint32, frame []byte, tel *
 	// Read the group revision before the walk so a group-mod racing
 	// the recording leaves it stale-by-revision, like the table revs.
 	groupRev := s.groups.Version()
-	rec := &microflow{}
+	rec := &microflow{} //harmless:allow-alloc cache-miss install path runs once per new flow, not per packet
 	s.runPipelineKeyed(key, inPort, frame, 0, rec, tx)
 	rec.resolveOutPort()
 	var trec *telemetry.Record

@@ -195,6 +195,8 @@ func (c *microflowCache) shardFor(k *pkt.Key) *cacheShard {
 // lookup returns a still-valid megaflow for the key, or nil. Stale
 // entries are removed on the way out; hit/miss/invalidation counters
 // are maintained here.
+//
+//harmless:hotpath
 func (c *microflowCache) lookup(k *pkt.Key) *microflow {
 	sh := c.shardFor(k)
 	sh.mu.RLock()
@@ -232,6 +234,8 @@ func (c *microflowCache) lookup(k *pkt.Key) *microflow {
 // miss/invalidation accounting and stale-entry removal — and can
 // legitimately hit an entry that an earlier frame of the same batch
 // just installed, exactly as a sequence of Receive calls would.
+//
+//harmless:hotpath
 func (c *microflowCache) probeBatch(keys []pkt.Key, skip []bool, out []*microflow, heads *[microflowShards]int32, next []int32) {
 	for i := range heads {
 		heads[i] = -1

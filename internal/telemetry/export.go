@@ -198,6 +198,10 @@ func (a *Aggregator) SetClock(c netem.Clock) *Aggregator {
 	return a
 }
 
+// Clock returns the aggregator's timebase so companion views (the
+// /flows HTTP handler) can timestamp against the same timeline.
+func (a *Aggregator) Clock() netem.Clock { return a.clock }
+
 // Start spawns the drain/flush loop.
 func (a *Aggregator) Start() {
 	go func() {

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"time"
 
+	"github.com/harmless-sdn/harmless/internal/netem"
 	"github.com/harmless-sdn/harmless/internal/pkt"
 )
 
@@ -58,8 +58,13 @@ func snapshotJSON(s FlowSnapshot, now int64) flowJSON {
 }
 
 // FlowsHandler serves the live flow table, top talkers first.
-// Query parameter n bounds the flow count (default 100).
-func FlowsHandler(t *Table) http.Handler {
+// Query parameter n bounds the flow count (default 100). Age and idle
+// times are computed against clock so that a table fed from virtual
+// time renders consistent ages; nil means wall clock.
+func FlowsHandler(t *Table, clock netem.Clock) http.Handler {
+	if clock == nil {
+		clock = netem.RealClock{}
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		n := 100
 		if q := r.URL.Query().Get("n"); q != "" {
@@ -71,7 +76,7 @@ func FlowsHandler(t *Table) http.Handler {
 		if len(snaps) > n {
 			snaps = snaps[:n]
 		}
-		now := time.Now().UnixNano()
+		now := clock.Now().UnixNano()
 		out := struct {
 			Flows int        `json:"flows"`
 			Shown int        `json:"shown"`
@@ -125,10 +130,15 @@ func StatsHandler(t *Table, a *Aggregator, extra func() map[string]any) http.Han
 }
 
 // NewMux mounts the live views on a fresh ServeMux: /flows and
-// /stats.
+// /stats. Flow ages are rendered on the aggregator's clock when one
+// is supplied, keeping the HTTP view on the same timeline as exports.
 func NewMux(t *Table, a *Aggregator, extra func() map[string]any) *http.ServeMux {
+	var clock netem.Clock
+	if a != nil {
+		clock = a.Clock()
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/flows", FlowsHandler(t))
+	mux.Handle("/flows", FlowsHandler(t, clock))
 	mux.Handle("/stats", StatsHandler(t, a, extra))
 	return mux
 }

@@ -365,6 +365,8 @@ func (t *Table) reviveLocked(sh *shard, rec *Record) {
 
 // Observe accounts one packet of size bytes against rec — the
 // single-frame mirror of ObserveBatch.
+//
+//harmless:hotpath
 func (t *Table) Observe(rec *Record, size int, outPort uint32, now int64) {
 	sh := &t.shards[rec.shard]
 	sh.mu.Lock()
@@ -383,6 +385,8 @@ func (t *Table) Observe(rec *Record, size int, outPort uint32, now int64) {
 // configuration means once per batch. Due timer sweeps piggyback on
 // the tail of the batch, so a loaded datapath needs no external
 // sweeper.
+//
+//harmless:hotpath
 func (t *Table) ObserveBatch(frames [][]byte, recs []*Record, outs []uint32, now int64) {
 	var cur *shard
 	for i, rec := range recs {
@@ -409,6 +413,8 @@ func (t *Table) ObserveBatch(frames [][]byte, recs []*Record, outs []uint32, now
 
 // observeLocked is the per-packet accounting step. Caller holds sh.mu
 // and guarantees rec.shard maps to sh.
+//
+//harmless:hotpath
 func (t *Table) observeLocked(sh *shard, rec *Record, size int, outPort uint32, now int64) {
 	if rec.dead {
 		// A live record for the same flow may already exist (created by
