@@ -15,6 +15,14 @@
 // from the machine that wrote the baseline); -fail-over makes a
 // slowdown beyond the threshold fatal too, for runs where baseline
 // and current share hardware.
+//
+// -pair-check enforces the cache acceptance invariant WITHIN a single
+// run, so it is hardware-independent: every `X/cached` benchmark with
+// an `X/uncached` sibling must deliver at least (1 - pair-tolerance)
+// of the sibling's throughput. The two-tier flow cache must never be
+// a tax — not even on the adversarial thrash workload it used to lose
+// badly on. Run it against a measured pass (-benchtime 20000x), not
+// the 1x smoke rows, which are single-iteration noise.
 package main
 
 import (
@@ -140,6 +148,8 @@ func main() {
 	threshold := flag.Float64("threshold", 0.30, "relative slowdown that flags a benchmark in the table")
 	check := flag.Bool("check", false, "exit non-zero on panics, FAILs, zero-iteration results, or an empty bench run")
 	failOver := flag.Bool("fail-over", false, "with -baseline: also exit non-zero when any flagged metric regresses past the threshold")
+	pairs := flag.Bool("pair-check", false, "exit non-zero unless every X/cached benchmark keeps at least (1 - pair-tolerance) of its X/uncached sibling's throughput")
+	pairTol := flag.Float64("pair-tolerance", 0.15, "relative shortfall allowed by -pair-check before cached-vs-uncached fails")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -178,6 +188,10 @@ func main() {
 		}
 	}
 
+	if *pairs {
+		bad += pairCheck(results, *pairTol)
+	}
+
 	if *writePath != "" {
 		b := Baseline{Note: *note, Benchmarks: results}
 		data, err := json.MarshalIndent(&b, "", "  ")
@@ -211,6 +225,63 @@ func main() {
 	if bad > 0 {
 		os.Exit(1)
 	}
+}
+
+// throughput reads a result's packets-per-second, deriving it from
+// ns/op for benchmarks that do not report the pps metric directly.
+func throughput(res *Result) float64 {
+	if pps, ok := res.Metrics["pps"]; ok && pps > 0 {
+		return pps
+	}
+	if ns, ok := res.Metrics["ns/op"]; ok && ns > 0 {
+		return 1e9 / ns
+	}
+	return 0
+}
+
+// pairCheck walks every `<base>/cached` result whose `<base>/uncached`
+// sibling appears in the same run and fails those where the cached
+// throughput drops below (1 - tol) of the uncached one. Comparing
+// same-run siblings makes the gate independent of the runner: both
+// sides saw identical hardware, load and ruleset. Returns the number
+// of failing pairs.
+func pairCheck(results map[string]*Result, tol float64) int {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	checked, bad := 0, 0
+	for _, name := range names {
+		base, ok := strings.CutSuffix(name, "/cached")
+		if !ok {
+			continue
+		}
+		unc := results[base+"/uncached"]
+		if unc == nil {
+			continue
+		}
+		cp, up := throughput(results[name]), throughput(unc)
+		if cp == 0 || up == 0 {
+			fmt.Printf("PAIR FAIL: %s vs uncached: missing pps and ns/op metrics\n", name)
+			bad++
+			continue
+		}
+		checked++
+		ratio := cp / up
+		if ratio < 1-tol {
+			fmt.Printf("PAIR FAIL: %s %s < %s uncached x %.2f (ratio %.3f): the cache is a net tax on this workload\n",
+				name, fmtVal(cp), fmtVal(up), 1-tol, ratio)
+			bad++
+		} else {
+			fmt.Printf("PAIR OK:   %s %s vs uncached %s (ratio %.2fx)\n", name, fmtVal(cp), fmtVal(up), ratio)
+		}
+	}
+	if checked == 0 && bad == 0 {
+		fmt.Println("PAIR FAIL: no cached/uncached benchmark pairs found in this run")
+		bad++
+	}
+	return bad
 }
 
 // printDelta renders the markdown comparison table and returns how

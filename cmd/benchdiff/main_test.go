@@ -82,6 +82,54 @@ func TestDeltaDirection(t *testing.T) {
 	}
 }
 
+func res(metrics map[string]float64) *Result {
+	return &Result{Iterations: 1, Metrics: metrics}
+}
+
+func TestPairCheck(t *testing.T) {
+	results := map[string]*Result{
+		// Clear win: 2x the uncached throughput.
+		"BenchmarkManyFlows/uniform/cached":   res(map[string]float64{"pps": 2.0e6}),
+		"BenchmarkManyFlows/uniform/uncached": res(map[string]float64{"pps": 1.0e6}),
+		// Within tolerance: 92% of uncached passes at tol=0.15.
+		"BenchmarkManyFlows/thrash/cached":   res(map[string]float64{"pps": 0.92e6}),
+		"BenchmarkManyFlows/thrash/uncached": res(map[string]float64{"pps": 1.0e6}),
+		// No sibling: ignored, not failed.
+		"BenchmarkSingleFlow/cached": res(map[string]float64{"pps": 3.0e6}),
+	}
+	if bad := pairCheck(results, 0.15); bad != 0 {
+		t.Errorf("pairCheck = %d failures, want 0", bad)
+	}
+	// Tighten the tolerance below the thrash ratio: one failure.
+	if bad := pairCheck(results, 0.05); bad != 1 {
+		t.Errorf("pairCheck(tol=0.05) = %d failures, want 1", bad)
+	}
+}
+
+func TestPairCheckDerivesFromNsOp(t *testing.T) {
+	// pps missing on one side: fall back to 1e9/ns. 500 ns/op cached
+	// vs 1000 ns/op uncached is a 2x win.
+	results := map[string]*Result{
+		"BenchmarkX/cached":   res(map[string]float64{"ns/op": 500}),
+		"BenchmarkX/uncached": res(map[string]float64{"ns/op": 1000}),
+	}
+	if bad := pairCheck(results, 0.15); bad != 0 {
+		t.Errorf("pairCheck on ns/op-only results = %d failures, want 0", bad)
+	}
+}
+
+func TestPairCheckEmptyRunFails(t *testing.T) {
+	// A run with no cached/uncached pairs at all must fail: the gate
+	// silently passing because the workloads were renamed is exactly
+	// the regression it exists to catch.
+	results := map[string]*Result{
+		"BenchmarkLonely": res(map[string]float64{"pps": 1e6}),
+	}
+	if bad := pairCheck(results, 0.15); bad != 1 {
+		t.Errorf("pairCheck on pairless run = %d failures, want 1", bad)
+	}
+}
+
 func TestNormalizeName(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkSingleFlow/cached-8":       "BenchmarkSingleFlow/cached",

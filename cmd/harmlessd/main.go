@@ -227,10 +227,12 @@ func main() {
 		defer l.Close()
 		mux := telemetry.NewMux(tel, agg, func() map[string]any {
 			extra := map[string]any{
-				"ss1_cache":  d.S4.SS1.CacheStats().String(),
-				"ss1_flows":  d.S4.SS1.CacheLen(),
-				"ss2_cache":  d.S4.SS2.CacheStats().String(),
-				"packet_ins": d.S4.SS2.PacketIns(),
+				"ss1_cache":       d.S4.SS1.CacheStats().String(),
+				"ss1_cache_tiers": d.S4.SS1.CacheTierStats(),
+				"ss1_flows":       d.S4.SS1.CacheLen(),
+				"ss2_cache":       d.S4.SS2.CacheStats().String(),
+				"ss2_cache_tiers": d.S4.SS2.CacheTierStats(),
+				"packet_ins":      d.S4.SS2.PacketIns(),
 			}
 			pkts, bytes := telCol.Totals()
 			extra["exported_totals"] = map[string]uint64{"packets": pkts, "bytes": bytes}

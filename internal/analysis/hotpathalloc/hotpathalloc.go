@@ -44,8 +44,13 @@ var Analyzer = &analysis.Analyzer{
 // "hotpathalloc/required" key is the analyzer's own test fixture.
 var Required = map[string][]string{
 	"github.com/harmless-sdn/harmless/internal/softswitch": {
-		"microflowCache.lookup",
-		"microflowCache.probeBatch",
+		"cacheChain.lookup",
+		"cacheChain.probeBatch",
+		"microflowTier.Lookup",
+		"microflowTier.ProbeBatch",
+		"megaflowTier.Lookup",
+		"megaflowTier.probe",
+		"megaflowTier.ProbeBatch",
 		"Switch.ReceiveBatch",
 		"Switch.ReceiveMixedBatch",
 		"Switch.processBatch",

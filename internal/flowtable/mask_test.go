@@ -1,0 +1,196 @@
+package flowtable
+
+import (
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/netem"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+)
+
+func TestMaskOf(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Match
+		want MatchMask
+	}{
+		{"match-all", Match{}, 0},
+		{"in-port", Match{InPortSet: true, InPort: 3}, MaskInPort},
+		{
+			"l2",
+			Match{EthDstSet: true, EthDstMask: onesMAC, EthSrcSet: true, EthSrcMask: onesMAC, EthTypeSet: true},
+			MaskEthDst | MaskEthSrc | MaskEthType,
+		},
+		{
+			// A prefix constraint still claims the whole field:
+			// conservative, never under-reports.
+			"masked-ip-prefix",
+			Match{IPDstSet: true, IPDst: pkt.IPv4{10, 0, 0, 0}, IPDstMask: pkt.IPv4{255, 0, 0, 0}},
+			MaskIPDst,
+		},
+		{"vlan-exact", Match{VLAN: VLANExact, VLANVID: 5}, MaskVLAN},
+		{"vlan-absent", Match{VLAN: VLANAbsent}, MaskVLAN},
+		{"vlan-pcp", Match{VLANPCPSet: true, VLANPCP: 3}, MaskVLANPCP},
+		{
+			"five-tuple",
+			Match{
+				EthTypeSet: true, IPProtoSet: true,
+				IPSrcSet: true, IPSrcMask: onesIPv4, IPDstSet: true, IPDstMask: onesIPv4,
+				L4SrcSet: true, L4DstSet: true,
+			},
+			MaskEthType | MaskIPProto | MaskIPSrc | MaskIPDst | MaskL4Src | MaskL4Dst,
+		},
+		{
+			"arp",
+			Match{ARPOpSet: true, ARPSPASet: true, ARPSPAMask: onesIPv4, ARPTPASet: true, ARPTPAMask: onesIPv4},
+			MaskARPOp | MaskARPSPA | MaskARPTPA,
+		},
+		{"icmp", Match{ICMPTypeSet: true, ICMPCodeSet: true}, MaskICMPType | MaskICMPCode},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := MaskOf(&tc.m); got != tc.want {
+				t.Fatalf("MaskOf(%s) = %v, want %v", tc.m.String(), got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMaskUnionCovers(t *testing.T) {
+	cases := []struct {
+		name      string
+		a, b      MatchMask
+		union     MatchMask
+		aCoversB  bool
+		bCoversA  bool
+		unionBoth bool // union covers both operands
+	}{
+		{"disjoint", MaskInPort, MaskIPDst, MaskInPort | MaskIPDst, false, false, true},
+		{"subset", MaskInPort | MaskEthType, MaskEthType, MaskInPort | MaskEthType, true, false, true},
+		{"equal", MaskL4Dst, MaskL4Dst, MaskL4Dst, true, true, true},
+		{"empty", 0, MaskIPSrc, MaskIPSrc, false, true, true},
+		{"both-empty", 0, 0, 0, true, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Union(tc.b); got != tc.union {
+				t.Fatalf("Union = %v, want %v", got, tc.union)
+			}
+			if got := tc.a.Covers(tc.b); got != tc.aCoversB {
+				t.Fatalf("a.Covers(b) = %v, want %v", got, tc.aCoversB)
+			}
+			if got := tc.b.Covers(tc.a); got != tc.bCoversA {
+				t.Fatalf("b.Covers(a) = %v, want %v", got, tc.bCoversA)
+			}
+			u := tc.a.Union(tc.b)
+			if u.Covers(tc.a) != tc.unionBoth || u.Covers(tc.b) != tc.unionBoth {
+				t.Fatalf("union does not cover operands")
+			}
+		})
+	}
+}
+
+func TestMaskApply(t *testing.T) {
+	full := pkt.Key{
+		InPort: 7,
+		EthDst: pkt.MAC{2, 0, 0, 0, 0, 1}, EthSrc: pkt.MAC{2, 0, 0, 0, 0, 2},
+		EthType: pkt.EtherTypeIPv4,
+		HasVLAN: true, VLANID: 100, VLANPCP: 3,
+		HasIPv4: true, IPProto: pkt.IPProtoUDP, IPTOS: 0x2e,
+		IPSrc: pkt.IPv4{10, 1, 0, 1}, IPDst: pkt.IPv4{10, 2, 0, 1},
+		HasL4: true, L4Src: 4242, L4Dst: 53,
+	}
+
+	t.Run("zero-mask-keeps-shape-only", func(t *testing.T) {
+		p := MatchMask(0).Apply(&full)
+		if !p.HasVLAN || !p.HasIPv4 || !p.HasL4 {
+			t.Fatalf("presence bits must survive projection: %+v", p)
+		}
+		if p.InPort != 0 || p.IPDst != (pkt.IPv4{}) || p.L4Dst != 0 || p.VLANID != 0 || p.IPTOS != 0 {
+			t.Fatalf("value fields must be zeroed: %+v", p)
+		}
+	})
+
+	t.Run("selected-fields-survive", func(t *testing.T) {
+		mm := MaskInPort | MaskIPDst | MaskL4Dst
+		p := mm.Apply(&full)
+		if p.InPort != 7 || p.IPDst != (pkt.IPv4{10, 2, 0, 1}) || p.L4Dst != 53 {
+			t.Fatalf("masked fields must be copied: %+v", p)
+		}
+		if p.IPSrc != (pkt.IPv4{}) || p.L4Src != 0 || p.EthDst != (pkt.MAC{}) {
+			t.Fatalf("unmasked fields must be zeroed: %+v", p)
+		}
+	})
+
+	t.Run("projection-idempotent", func(t *testing.T) {
+		mm := MaskEthType | MaskIPProto | MaskL4Dst
+		p := mm.Apply(&full)
+		q := mm.Apply(&p)
+		if p != q {
+			t.Fatalf("Apply not idempotent:\n p=%+v\n q=%+v", p, q)
+		}
+	})
+
+	// The soundness property megaflow caching relies on: if the mask
+	// covers a match's fields, keys with equal projections evaluate
+	// identically against that match.
+	t.Run("class-mates-match-identically", func(t *testing.T) {
+		m := Match{
+			InPortSet: true, InPort: 7,
+			EthTypeSet: true, EthType: pkt.EtherTypeIPv4,
+			IPDstSet: true, IPDst: pkt.IPv4{10, 2, 0, 0}, IPDstMask: pkt.IPv4{255, 255, 0, 0},
+		}
+		mm := MaskOf(&m).Union(MaskL4Dst) // wider than the match: still sound
+		other := full
+		other.EthSrc = pkt.MAC{2, 9, 9, 9, 9, 9} // outside the mask
+		other.L4Src = 9999
+		other.IPSrc = pkt.IPv4{172, 16, 0, 1}
+		if mm.Apply(&full) != mm.Apply(&other) {
+			t.Fatalf("keys differing only outside the mask must project equally")
+		}
+		if m.Matches(&full) != m.Matches(&other) {
+			t.Fatalf("class mates must match identically")
+		}
+		if !m.Matches(&full) {
+			t.Fatalf("sanity: match should accept the key")
+		}
+	})
+}
+
+func TestMaskString(t *testing.T) {
+	if got := MatchMask(0).String(); got != "any" {
+		t.Fatalf("zero mask String = %q", got)
+	}
+	if got := (MaskInPort | MaskIPDst).String(); got != "in_port,nw_dst" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTableConsultMask(t *testing.T) {
+	tab := NewTable(0, netem.RealClock{})
+	if got := tab.ConsultMask(); got != 0 {
+		t.Fatalf("empty table ConsultMask = %v, want any", got)
+	}
+	add := func(m Match, prio uint16) {
+		t.Helper()
+		if err := tab.Add(&Entry{Priority: prio, Match: &m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(Match{InPortSet: true, InPort: 1}, 10)
+	if got := tab.ConsultMask(); got != MaskInPort {
+		t.Fatalf("ConsultMask = %v, want in_port", got)
+	}
+	// Cached value must refresh after a revision bump.
+	add(Match{EthTypeSet: true, EthType: pkt.EtherTypeIPv4, IPDstSet: true,
+		IPDst: pkt.IPv4{10, 0, 0, 0}, IPDstMask: pkt.IPv4{255, 0, 0, 0}}, 20)
+	want := MaskInPort | MaskEthType | MaskIPDst
+	if got := tab.ConsultMask(); got != want {
+		t.Fatalf("ConsultMask after add = %v, want %v", got, want)
+	}
+	// Deleting back down narrows it again.
+	tab.Delete(&Match{EthTypeSet: true, EthType: pkt.EtherTypeIPv4, IPDstSet: true,
+		IPDst: pkt.IPv4{10, 0, 0, 0}, IPDstMask: pkt.IPv4{255, 0, 0, 0}}, 20, true, 0xffffffff)
+	if got := tab.ConsultMask(); got != MaskInPort {
+		t.Fatalf("ConsultMask after delete = %v, want in_port", got)
+	}
+}

@@ -21,143 +21,97 @@ import (
 // precisely the shape of the HARMLESS translator (SS_1) program and of
 // L2/L3 forwarding tables, which is what makes the ESwitch approach
 // effective for the paper's workloads.
+//
+// Template signatures are MatchMask values — the same field algebra
+// the softswitch megaflow cache uses to derive its wildcard classes —
+// so "which fields does this table consult" has exactly one definition
+// in the tree (see mask.go).
 
-// templateFields is the bitmask of fields a template constrains.
-type templateFields uint32
-
-// Field bits used in template signatures.
-const (
-	tfInPort templateFields = 1 << iota
-	tfEthDst
-	tfEthSrc
-	tfEthType
-	tfVLAN     // exact VID (tag present)
-	tfVLANNone // untagged
-	tfIPProto
-	tfIPSrc
-	tfIPDst
-	tfL4Src
-	tfL4Dst
-	tfICMPType
-	tfARPOp
-)
-
-// signatureOf classifies a match for specialization. ok is false when
-// the match cannot be expressed as an exact-match template (masked
-// fields or unsupported constraints).
-func signatureOf(m *Match) (templateFields, bool) {
-	var sig templateFields
-	if m.InPortSet {
-		sig |= tfInPort
+// exactSignature classifies a match for specialization. ok is false
+// when the match cannot be expressed as an exact-match template
+// (masked fields or unsupported constraints).
+func exactSignature(m *Match) (MatchMask, bool) {
+	if m.EthDstSet && m.EthDstMask != onesMAC {
+		return 0, false
 	}
-	if m.EthDstSet {
-		if m.EthDstMask != onesMAC {
-			return 0, false
-		}
-		sig |= tfEthDst
+	if m.EthSrcSet && m.EthSrcMask != onesMAC {
+		return 0, false
 	}
-	if m.EthSrcSet {
-		if m.EthSrcMask != onesMAC {
-			return 0, false
-		}
-		sig |= tfEthSrc
+	if m.IPSrcSet && m.IPSrcMask != onesIPv4 {
+		return 0, false
 	}
-	if m.EthTypeSet {
-		sig |= tfEthType
-	}
-	switch m.VLAN {
-	case VLANExact:
-		sig |= tfVLAN
-	case VLANAbsent:
-		sig |= tfVLANNone
+	if m.IPDstSet && m.IPDstMask != onesIPv4 {
+		return 0, false
 	}
 	if m.VLANPCPSet || m.ICMPCodeSet || m.ARPSPASet || m.ARPTPASet {
 		return 0, false // rare fields: keep the generic path
 	}
-	if m.IPProtoSet {
-		sig |= tfIPProto
-	}
-	if m.IPSrcSet {
-		if m.IPSrcMask != onesIPv4 {
-			return 0, false
-		}
-		sig |= tfIPSrc
-	}
-	if m.IPDstSet {
-		if m.IPDstMask != onesIPv4 {
-			return 0, false
-		}
-		sig |= tfIPDst
-	}
-	if m.L4SrcSet {
-		sig |= tfL4Src
-	}
-	if m.L4DstSet {
-		sig |= tfL4Dst
-	}
-	if m.ICMPTypeSet {
-		sig |= tfICMPType
-	}
-	if m.ARPOpSet {
-		sig |= tfARPOp
-	}
-	return sig, true
+	return MaskOf(m), true
 }
 
 // templateKey is the packed value of the constrained fields. A fixed
-// array keeps it comparable (map key) without allocation.
+// array keeps it comparable (map key) without allocation. 40 bytes
+// accommodates the widest prerequisite-legal field combination.
 type templateKey struct {
-	buf [32]byte
+	buf [40]byte
 	n   uint8
 }
 
-// keyFromMatch packs the constrained field values of a match.
-func keyFromMatch(sig templateFields, m *Match) templateKey {
+// keyFromMatch packs the constrained field values of a match. The VLAN
+// field packs as a presence byte plus VID, so a VLANAbsent constraint
+// and a VLANExact one land in the same template without colliding.
+func keyFromMatch(sig MatchMask, m *Match) templateKey {
 	var k templateKey
 	put := func(b []byte) {
 		copy(k.buf[k.n:], b)
 		k.n += uint8(len(b))
 	}
 	var tmp [4]byte
-	if sig&tfInPort != 0 {
+	if sig&MaskInPort != 0 {
 		binary.BigEndian.PutUint32(tmp[:], m.InPort)
 		put(tmp[:4])
 	}
-	if sig&tfEthDst != 0 {
+	if sig&MaskEthDst != 0 {
 		put(m.EthDst[:])
 	}
-	if sig&tfEthSrc != 0 {
+	if sig&MaskEthSrc != 0 {
 		put(m.EthSrc[:])
 	}
-	if sig&tfEthType != 0 {
+	if sig&MaskEthType != 0 {
 		binary.BigEndian.PutUint16(tmp[:2], m.EthType)
 		put(tmp[:2])
 	}
-	if sig&tfVLAN != 0 {
-		binary.BigEndian.PutUint16(tmp[:2], m.VLANVID)
+	if sig&MaskVLAN != 0 {
+		if m.VLAN == VLANExact {
+			binary.BigEndian.PutUint16(tmp[:2], m.VLANVID)
+			put([]byte{1})
+		} else { // VLANAbsent
+			tmp[0], tmp[1] = 0, 0
+			put([]byte{0})
+		}
 		put(tmp[:2])
 	}
-	if sig&tfIPProto != 0 {
+	if sig&MaskIPProto != 0 {
 		put([]byte{m.IPProto})
 	}
-	if sig&tfIPSrc != 0 {
+	if sig&MaskIPSrc != 0 {
 		put(m.IPSrc[:])
 	}
-	if sig&tfIPDst != 0 {
+	if sig&MaskIPDst != 0 {
 		put(m.IPDst[:])
 	}
-	if sig&tfL4Src != 0 {
+	if sig&MaskL4Src != 0 {
 		binary.BigEndian.PutUint16(tmp[:2], m.L4Src)
 		put(tmp[:2])
 	}
-	if sig&tfL4Dst != 0 {
+	if sig&MaskL4Dst != 0 {
 		binary.BigEndian.PutUint16(tmp[:2], m.L4Dst)
 		put(tmp[:2])
 	}
-	if sig&tfICMPType != 0 {
+	if sig&MaskICMPType != 0 {
 		put([]byte{m.ICMPType})
 	}
-	if sig&tfARPOp != 0 {
+	if sig&MaskARPOp != 0 {
 		binary.BigEndian.PutUint16(tmp[:2], m.ARPOp)
 		put(tmp[:2])
 	}
@@ -167,76 +121,78 @@ func keyFromMatch(sig templateFields, m *Match) templateKey {
 // keyFromPacket packs the same fields out of a packet key; ok is false
 // when the packet lacks a field the template needs (so it cannot match
 // any entry of that template).
-func keyFromPacket(sig templateFields, p *pkt.Key) (templateKey, bool) {
+func keyFromPacket(sig MatchMask, p *pkt.Key) (templateKey, bool) {
 	var k templateKey
 	put := func(b []byte) {
 		copy(k.buf[k.n:], b)
 		k.n += uint8(len(b))
 	}
 	var tmp [4]byte
-	if sig&tfVLANNone != 0 && p.HasVLAN {
-		return k, false
-	}
-	if sig&tfInPort != 0 {
+	if sig&MaskInPort != 0 {
 		binary.BigEndian.PutUint32(tmp[:], p.InPort)
 		put(tmp[:4])
 	}
-	if sig&tfEthDst != 0 {
+	if sig&MaskEthDst != 0 {
 		put(p.EthDst[:])
 	}
-	if sig&tfEthSrc != 0 {
+	if sig&MaskEthSrc != 0 {
 		put(p.EthSrc[:])
 	}
-	if sig&tfEthType != 0 {
+	if sig&MaskEthType != 0 {
 		binary.BigEndian.PutUint16(tmp[:2], p.EthType)
 		put(tmp[:2])
 	}
-	if sig&tfVLAN != 0 {
-		if !p.HasVLAN {
-			return k, false
+	if sig&MaskVLAN != 0 {
+		// Presence byte + VID: an untagged packet packs (0, 0, 0) and
+		// can only meet a VLANAbsent entry; a tagged one packs (1, VID).
+		if p.HasVLAN {
+			binary.BigEndian.PutUint16(tmp[:2], p.VLANID)
+			put([]byte{1})
+		} else {
+			tmp[0], tmp[1] = 0, 0
+			put([]byte{0})
 		}
-		binary.BigEndian.PutUint16(tmp[:2], p.VLANID)
 		put(tmp[:2])
 	}
-	if sig&tfIPProto != 0 {
+	if sig&MaskIPProto != 0 {
 		if !p.HasIPv4 && !p.HasIPv6 {
 			return k, false
 		}
 		put([]byte{p.IPProto})
 	}
-	if sig&tfIPSrc != 0 {
+	if sig&MaskIPSrc != 0 {
 		if !p.HasIPv4 {
 			return k, false
 		}
 		put(p.IPSrc[:])
 	}
-	if sig&tfIPDst != 0 {
+	if sig&MaskIPDst != 0 {
 		if !p.HasIPv4 {
 			return k, false
 		}
 		put(p.IPDst[:])
 	}
-	if sig&tfL4Src != 0 {
+	if sig&MaskL4Src != 0 {
 		if !p.HasL4 {
 			return k, false
 		}
 		binary.BigEndian.PutUint16(tmp[:2], p.L4Src)
 		put(tmp[:2])
 	}
-	if sig&tfL4Dst != 0 {
+	if sig&MaskL4Dst != 0 {
 		if !p.HasL4 {
 			return k, false
 		}
 		binary.BigEndian.PutUint16(tmp[:2], p.L4Dst)
 		put(tmp[:2])
 	}
-	if sig&tfICMPType != 0 {
+	if sig&MaskICMPType != 0 {
 		if !p.HasICMP {
 			return k, false
 		}
 		put([]byte{p.ICMPType})
 	}
-	if sig&tfARPOp != 0 {
+	if sig&MaskARPOp != 0 {
 		if !p.HasARP {
 			return k, false
 		}
@@ -248,7 +204,7 @@ func keyFromPacket(sig templateFields, p *pkt.Key) (templateKey, bool) {
 
 // template is one compiled exact-match table.
 type template struct {
-	sig     templateFields
+	sig     MatchMask
 	entries map[templateKey]*Entry
 	maxPrio uint16
 }
@@ -267,9 +223,9 @@ func Compile(t *Table) (*FastPath, bool) {
 	version := t.Version()
 	entries := t.Entries()
 	fp := &FastPath{version: version}
-	bysig := map[templateFields]*template{}
+	bysig := map[MatchMask]*template{}
 	for _, e := range entries {
-		sig, ok := signatureOf(e.Match)
+		sig, ok := exactSignature(e.Match)
 		if !ok {
 			return nil, false
 		}

@@ -125,6 +125,16 @@ type Table struct {
 	version atomic.Uint64 // bumped on every modification (specializer invalidation)
 	lookups atomic.Uint64
 	matched atomic.Uint64
+
+	// consult caches the union MaskOf over all entries, keyed by the
+	// version it was computed at (see ConsultMask).
+	consult atomic.Pointer[consultState]
+}
+
+// consultState is one cached ConsultMask computation.
+type consultState struct {
+	version uint64
+	mask    MatchMask
 }
 
 // NewTable creates an empty table.
@@ -158,6 +168,29 @@ func (t *Table) Len() int {
 // Stats returns (lookups, matched) counters.
 func (t *Table) Stats() (lookups, matched uint64) {
 	return t.lookups.Load(), t.matched.Load()
+}
+
+// ConsultMask returns the union of MaskOf over every installed entry:
+// the set of header fields a lookup against this table can possibly
+// consult. Two keys whose ConsultMask projections are equal
+// (mask.Apply) select the same entry here — the per-table step of the
+// megaflow soundness argument (see Apply). The result is cached per
+// revision, so the steady-state cost on the slow path is one atomic
+// load; it is recomputed (under the read lock, so the version and the
+// entry set are consistent) only after a flow-mod or expiry.
+func (t *Table) ConsultMask() MatchMask {
+	if c := t.consult.Load(); c != nil && c.version == t.version.Load() {
+		return c.mask
+	}
+	t.mu.RLock()
+	v := t.version.Load()
+	var mm MatchMask
+	for _, e := range t.entries {
+		mm = mm.Union(MaskOf(e.Match))
+	}
+	t.mu.RUnlock()
+	t.consult.Store(&consultState{version: v, mask: mm})
+	return mm
 }
 
 // Lookup returns the highest-priority matching entry and accounts

@@ -14,8 +14,9 @@ import (
 // per-packet costs once per batch instead of once per frame:
 //
 //   - keys are extracted for the whole vector in one pass;
-//   - the microflow cache is probed grouped by shard, so each shard
-//     read-lock is taken once per batch (probeBatch);
+//   - the cache chain is probed tier by tier, the exact tier grouped
+//     by shard so each shard read-lock is taken once per batch
+//     (probeBatch);
 //   - only the residue of misses walks the full pipeline;
 //   - egress is coalesced per port (txContext) and every port backend
 //     is flushed once per batch;
@@ -114,24 +115,27 @@ func (s *Switch) flushTx(tx *txContext) {
 // the batch's telemetry resolution (flow record and egress port per
 // frame) to the single ObserveBatch call at the end of the dispatch —
 // the zero-alloc batch-level hook, as opposed to a per-frame callback.
+// exact[i] marks cache hits from an exact-match tier, whose entries
+// may carry the flow's telemetry record; sc is the probe scratch the
+// cache chain and its tiers share.
 type dispatchState struct {
 	tx    txContext
 	keys  []pkt.Key
-	mfs   []*microflow
+	mfs   []*CacheEntry
 	skip  []bool
-	next  []int32
+	exact []bool
 	recs  []*telemetry.Record
 	outs  []uint32
-	heads [microflowShards]int32
+	sc    ProbeScratch
 	one   [1][]byte // single-frame vector for the Receive wrapper
 }
 
 func (st *dispatchState) grow(n int) {
 	if cap(st.keys) < n {
 		st.keys = make([]pkt.Key, n)
-		st.mfs = make([]*microflow, n)
+		st.mfs = make([]*CacheEntry, n)
 		st.skip = make([]bool, n)
-		st.next = make([]int32, n)
+		st.exact = make([]bool, n)
 		st.recs = make([]*telemetry.Record, n)
 		st.outs = make([]uint32, n)
 	}
@@ -237,18 +241,28 @@ func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState,
 	if tel != nil {
 		now = s.clock.Now().UnixNano()
 	}
+	// Pin the entry pool for the dispatch's duration: cache entries
+	// held in st.mfs (or in locals of classifyAndRun) cannot be
+	// recycled while any dispatch is in flight (see entryPool).
+	ch := s.cache
+	if ch != nil {
+		ch.pool.pin()
+	}
 	n := len(frames)
 	if n == 1 {
 		// One frame: the classic per-frame walk, minus the batch-probe
-		// bookkeeping.
+		// bookkeeping. The key lives in the pooled scratch, not on the
+		// stack: it crosses the CacheTier interface, which would
+		// otherwise force a heap allocation per packet.
+		st.grow(1)
 		v := dataplane.VerdictDropped
 		var rec *telemetry.Record
 		var out uint32
-		var key pkt.Key
-		if err := pkt.ExtractKey(frames[0], inPort, &key); err != nil {
+		key := &st.keys[0]
+		if err := pkt.ExtractKey(frames[0], inPort, key); err != nil {
 			s.drops.Inc()
 		} else {
-			v, rec, out = s.classifyAndRun(&key, inPort, frames[0], tel, &st.tx)
+			v, rec, out = s.classifyAndRun(key, inPort, frames[0], tel, &st.tx)
 		}
 		if meta != nil {
 			meta[0].Verdict = v
@@ -257,11 +271,14 @@ func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState,
 			tel.Observe(rec, len(frames[0]), out, now)
 		}
 		s.flushTx(&st.tx)
+		if ch != nil {
+			ch.pool.unpin()
+		}
 		return
 	}
 
 	st.grow(n)
-	keys, skip, mfs := st.keys[:n], st.skip[:n], st.mfs[:n]
+	keys, skip, mfs, exact := st.keys[:n], st.skip[:n], st.mfs[:n], st.exact[:n]
 	bad := 0
 	for i, f := range frames {
 		skip[i] = false
@@ -273,8 +290,8 @@ func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState,
 	if bad > 0 {
 		s.drops.Add(uint64(bad))
 	}
-	if c := s.cache; c != nil {
-		c.probeBatch(keys, skip, mfs, &st.heads, st.next[:n])
+	if ch != nil {
+		ch.probeBatch(keys, skip, mfs, exact, &st.sc)
 	} else {
 		clear(mfs)
 	}
@@ -286,7 +303,13 @@ func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState,
 			if mf := mfs[i]; mf != nil {
 				mfs[i] = nil
 				if tel != nil {
-					recs[i] = mf.telRecord(tel, &keys[i])
+					if exact[i] {
+						recs[i] = mf.telRecord(tel, &keys[i])
+					} else {
+						// Wildcard-tier hit: the shared entry serves many
+						// flows, so resolve this packet's record directly.
+						recs[i] = tel.Lookup(&keys[i])
+					}
 					outs[i] = mf.outPort
 				}
 				s.replayMicroflow(mf, inPort, f, &st.tx)
@@ -308,20 +331,26 @@ func (s *Switch) processBatch(inPort uint32, frames [][]byte, st *dispatchState,
 		clear(recs) // drop record refs: dispatchState is pooled
 	}
 	s.flushTx(&st.tx)
+	if ch != nil {
+		ch.pool.unpin()
+	}
 }
 
 // classifyAndRun is the per-frame decision shared by every entry
-// point: serve from the microflow cache, or walk the pipeline and
-// record a new megaflow. It returns the verdict plus the frame's
+// point: serve from the cache chain, or walk the pipeline and record
+// a new cache entry. It returns the verdict plus the frame's
 // telemetry resolution — the flow record to account it against (nil
 // when tel is nil or the frame was not classified) and the resolved
 // egress port — which the dispatch accumulates for the batch-level
 // ObserveBatch call.
 //
+// The caller must hold a pool pin (processBatch does) so the entry a
+// lookup returns cannot be recycled while it is replayed.
+//
 //harmless:hotpath
 func (s *Switch) classifyAndRun(key *pkt.Key, inPort uint32, frame []byte, tel *telemetry.Table, tx *txContext) (dataplane.Verdict, *telemetry.Record, uint32) {
-	c := s.cache
-	if c == nil {
+	ch := s.cache
+	if ch == nil {
 		var trec *telemetry.Record
 		if tel != nil {
 			trec = tel.Lookup(key)
@@ -329,18 +358,35 @@ func (s *Switch) classifyAndRun(key *pkt.Key, inPort uint32, frame []byte, tel *
 		s.runPipelineKeyed(key, inPort, frame, 0, nil, tx)
 		return dataplane.VerdictSlowPath, trec, 0
 	}
-	if mf := c.lookup(key); mf != nil {
+	mf, exactHit, record := ch.lookup(key)
+	if mf != nil {
 		var trec *telemetry.Record
 		if tel != nil {
-			trec = mf.telRecord(tel, key)
+			if exactHit {
+				trec = mf.telRecord(tel, key)
+			} else {
+				// Wildcard-tier hit: the shared entry serves many flows,
+				// so resolve this packet's record directly.
+				trec = tel.Lookup(key)
+			}
 		}
 		s.replayMicroflow(mf, inPort, frame, tx)
 		return dataplane.VerdictCacheHit, trec, mf.outPort
 	}
+	if !record {
+		// Adaptive bypass: the shard's hit rate collapsed, so skip both
+		// the recording and the install — a pure slow-path walk.
+		var trec *telemetry.Record
+		if tel != nil {
+			trec = tel.Lookup(key)
+		}
+		s.runPipelineKeyed(key, inPort, frame, 0, nil, tx)
+		return dataplane.VerdictSlowPath, trec, 0
+	}
 	// Read the group revision before the walk so a group-mod racing
 	// the recording leaves it stale-by-revision, like the table revs.
 	groupRev := s.groups.Version()
-	rec := &microflow{} //harmless:allow-alloc cache-miss install path runs once per new flow, not per packet
+	rec := ch.pool.acquire()
 	s.runPipelineKeyed(key, inPort, frame, 0, rec, tx)
 	rec.resolveOutPort()
 	var trec *telemetry.Record
@@ -348,12 +394,17 @@ func (s *Switch) classifyAndRun(key *pkt.Key, inPort uint32, frame []byte, tel *
 		trec = tel.Lookup(key)
 		rec.tel.Store(trec)
 	}
-	if !rec.uncacheable {
+	out := rec.outPort
+	if rec.uncacheable {
+		ch.pool.giveBack(rec)
+	} else {
 		if rec.usesGroups() {
 			rec.groups = s.groups
 			rec.groupRev = groupRev
 		}
-		c.insert(key, rec)
+		if !ch.install(key, rec) {
+			ch.pool.giveBack(rec)
+		}
 	}
-	return dataplane.VerdictSlowPath, trec, rec.outPort
+	return dataplane.VerdictSlowPath, trec, out
 }

@@ -317,13 +317,15 @@ func TestReceiveMixedBatch(t *testing.T) {
 	}
 	gen := fabric.NewUDPGenerator(64, 2, 21)
 	var b dataplane.Batch
-	b.Append(gen.CopyNext(), 1)     // slow path (cold cache)
-	b.Append(gen.CopyNext(), 1)     // slow path, different flow
+	b.Append(gen.CopyNext(), 1) // slow path (cold cache)
+	// Different flow, same port: the ruleset only consults in_port, so
+	// the megaflow recorded by the first frame already covers it.
+	b.Append(gen.CopyNext(), 1)
 	b.Append([]byte{0xde, 0xad}, 1) // malformed: dropped
-	b.Append(gen.CopyNext(), 2)     // port 2 run
+	b.Append(gen.CopyNext(), 2)     // port 2 run (distinct mask-class key)
 	sw.ReceiveMixedBatch(&b)
 	want := []dataplane.Verdict{
-		dataplane.VerdictSlowPath, dataplane.VerdictSlowPath,
+		dataplane.VerdictSlowPath, dataplane.VerdictCacheHit,
 		dataplane.VerdictDropped, dataplane.VerdictSlowPath,
 	}
 	for i, w := range want {

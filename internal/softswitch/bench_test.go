@@ -70,18 +70,23 @@ func benchSwitch(b *testing.B, opts ...softswitch.Option) *softswitch.Switch {
 	return sw
 }
 
-// drive pushes generator traffic through the switch and reports
-// packets per second.
-func drive(b *testing.B, sw *softswitch.Switch, gen *fabric.Generator) {
+// frameSource is any generator of benchmark frames (fabric.Generator,
+// fabric.MixGenerator, ...).
+type frameSource interface{ Next() []byte }
+
+// drive pushes warm packets of src through the switch untimed (cache
+// fill, pool growth, adaptive-bypass convergence — thrash workloads
+// need >= 2 windows per shard to settle), then reports packets per
+// second over the timed run.
+func drive(b *testing.B, sw *softswitch.Switch, src frameSource, warm int) {
 	b.Helper()
-	// Warm the datapath (and the cache, when enabled).
-	for i := 0; i < gen.Len(); i++ {
-		sw.Receive(1, gen.Next())
+	for i := 0; i < warm; i++ {
+		sw.Receive(1, src.Next())
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sw.Receive(1, gen.Next())
+		sw.Receive(1, src.Next())
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
@@ -97,7 +102,7 @@ func BenchmarkSingleFlow(b *testing.B) {
 		{"cached", nil},
 	} {
 		b.Run(v.name, func(b *testing.B) {
-			drive(b, benchSwitch(b, v.opts...), fabric.NewUDPGenerator(64, 1, 7))
+			drive(b, benchSwitch(b, v.opts...), fabric.NewUDPGenerator(64, 1, 7), 256)
 		})
 	}
 }
@@ -132,20 +137,50 @@ func BenchmarkReceiveBatch(b *testing.B) {
 	}
 }
 
+// wildcardFlows builds flows that differ only in fields the bench
+// ruleset never consults (MACs, source IP, source port): the exact
+// tier sees 4096 distinct keys, but every packet projects onto ONE
+// megaflow mask-class entry.
+func wildcardFlows(n int) []fabric.FlowSpec {
+	flows := make([]fabric.FlowSpec, n)
+	for i := range flows {
+		flows[i] = fabric.FlowSpec{
+			SrcMAC: pkt.MAC{0x02, 0x30, 0, 0, byte(i >> 8), byte(i)},
+			DstMAC: pkt.MAC{0x02, 0x40, 0, 0, byte(i >> 8), byte(i)},
+			SrcIP:  pkt.IPv4{10, 1, byte(i >> 8), byte(i)},
+			DstIP:  pkt.IPv4{10, 2, 0, 1},
+			Sport:  uint16(1024 + i),
+			Dport:  9999,
+		}
+	}
+	return flows
+}
+
 func BenchmarkManyFlows(b *testing.B) {
 	workloads := []struct {
 		name string
-		gen  func() *fabric.Generator
+		gen  func() frameSource
 		opts []softswitch.Option
+		warm int
 	}{
 		// 1024 flows, round-robin: every flow stays cached.
-		{"uniform", func() *fabric.Generator { return fabric.NewUDPGenerator(64, 1024, 7) }, nil},
+		{"uniform", func() frameSource { return fabric.NewUDPGenerator(64, 1024, 7) }, nil, 2048},
 		// 1024 flows, Zipf popularity: the hot head dominates.
-		{"zipf", func() *fabric.Generator { return fabric.NewZipfGenerator(64, 1024, 1.2, 7) }, nil},
+		{"zipf", func() frameSource { return fabric.NewZipfGenerator(64, 1024, 1.2, 7) }, nil, 8192},
 		// 4096 flows round-robin against a 256-entry cache: every
-		// packet misses and evicts (the adversarial worst case).
-		{"thrash", func() *fabric.Generator { return fabric.NewThrashGenerator(64, 4096, 7) },
-			[]softswitch.Option{softswitch.WithMicroflowCacheSize(256)}},
+		// packet misses and evicts (the adversarial worst case; the
+		// warm count lets adaptive bypass converge on every shard).
+		{"thrash", func() frameSource { return fabric.NewThrashGenerator(64, 4096, 7) },
+			[]softswitch.Option{softswitch.WithMicroflowCacheSize(256)}, 24576},
+		// Elephant/mouse mix: 32 long-lived flows carry 80% of the
+		// packets over a churning population of short-lived mice —
+		// the production profile a pure exact-match cache thrashes on.
+		{"churn", func() frameSource { return fabric.NewMixGenerator(64, 32, 256, 16, 0.8, 7) },
+			[]softswitch.Option{softswitch.WithMicroflowCacheSize(512)}, 16384},
+		// 4096 flows varying only unconsulted header fields: the
+		// megaflow tier folds them into one wildcard entry.
+		{"wildcard", func() frameSource { return fabric.NewFlowGenerator(64, wildcardFlows(4096)) },
+			[]softswitch.Option{softswitch.WithMicroflowCacheSize(256)}, 8192},
 	}
 	for _, w := range workloads {
 		for _, cached := range []bool{true, false} {
@@ -156,7 +191,7 @@ func BenchmarkManyFlows(b *testing.B) {
 				opts = w.opts
 			}
 			b.Run(name, func(b *testing.B) {
-				drive(b, benchSwitch(b, opts...), w.gen())
+				drive(b, benchSwitch(b, opts...), w.gen(), w.warm)
 			})
 		}
 	}

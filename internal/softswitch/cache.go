@@ -11,17 +11,27 @@ import (
 	"github.com/harmless-sdn/harmless/internal/telemetry"
 )
 
-// Microflow cache: the OVS-style exact-match fast path in front of the
+// The flow cache: an OVS-style two-tier fast path in front of the
 // full pipeline walk. The first packet of a flow traverses the tables
-// normally while a recorder captures the resulting "megaflow": the
-// flat sequence of datapath operations the walk performed (meter
-// checks, apply-actions lists, the final ordered action set) plus the
-// table entries to credit for counters and idle timeouts. Subsequent
-// packets with an identical header key replay that program directly,
-// skipping key re-classification against every table.
+// normally while a recorder captures the resulting program — the flat
+// sequence of datapath operations the walk performed (meter checks,
+// apply-actions lists, the final ordered action set), the table
+// entries to credit for counters and idle timeouts, and the MatchMask
+// union of every consulted table. The program installs into two tiers:
+//
+//   - the exact-match microflow tier (this file) maps the packet's
+//     full header key to the program — the cheapest possible hit;
+//   - the wildcard megaflow tier (megaflow.go) maps the key PROJECTED
+//     through the recorded mask, so one entry serves every flow whose
+//     consulted fields agree — the OVS megaflow idea, built on the
+//     same flowtable.MatchMask algebra the specializer uses.
+//
+// Subsequent packets replay the program directly, skipping
+// re-classification against every table. Tier composition, admission
+// (adaptive bypass) and the entry pool live in tier.go.
 //
 // Correctness rests on revision validation, not on synchronous
-// invalidation: each megaflow records the revision (Table.Version) of
+// invalidation: each entry records the revision (Table.Version) of
 // every table it consulted — read *before* the lookup, so a racing
 // flow-mod can only make the recording stale, never silently valid —
 // and the group-table revision when the program executes a group.
@@ -34,16 +44,6 @@ import (
 // the program stores the *operations*, which are re-executed per
 // packet, so meters still shed load, SELECT groups still hash, and a
 // cached TTL-decrement still drops expiring packets.
-
-const (
-	// microflowShards is the number of independently locked cache
-	// shards; a power of two so shard selection is a mask.
-	microflowShards = 32
-
-	// DefaultMicroflowCacheSize is the default total capacity of the
-	// microflow cache in megaflow entries.
-	DefaultMicroflowCacheSize = 1 << 15
-)
 
 // tableDep is one table the recorded walk consulted, with the
 // revision it had when the decision was made (validated on every hit).
@@ -75,14 +75,25 @@ type microOp struct {
 	entry   *flowtable.Entry // opCredit: entry to credit; opApply: packet-in context (nil for the action set)
 }
 
-// microflow is one cached megaflow: the dependency set to revalidate
-// and the operation program to replay. It doubles as the recorder the
-// pipeline walk fills in.
-type microflow struct {
+// CacheEntry is one cached flow program: the dependency set to
+// revalidate and the operation sequence to replay. It doubles as the
+// recorder the pipeline walk fills in, and is shared between tiers —
+// the same entry is mapped by the exact tier under the full key and
+// by the megaflow tier under the mask-projected key. Entries are
+// pooled (tier.go): refs counts the tiers currently mapping the
+// entry, and reset must return the struct to a reusable zero state
+// while keeping slice capacity.
+type CacheEntry struct {
 	deps     []tableDep
 	ops      []microOp
 	groups   *flowtable.GroupTable // non-nil when the program executes a group
 	groupRev uint64
+
+	// mask is the union ConsultMask of every table the walk
+	// traversed: the fields that could have influenced the decision.
+	// The megaflow tier keys its storage by the packet key projected
+	// through this mask.
+	mask flowtable.MatchMask
 
 	// outPort is the first concrete egress port the recorded program
 	// outputs to (0 = none/reserved-only) — the telemetry plane's
@@ -90,11 +101,17 @@ type microflow struct {
 	// never re-scan the program.
 	outPort uint32
 
-	// tel caches the flow's telemetry record so a cache hit accounts
-	// telemetry with a pointer chase instead of a map lookup. Lazily
-	// resolved; atomic because inline (non-pool) datapaths may race
-	// the first touch.
+	// tel caches the flow's telemetry record so an exact-tier hit
+	// accounts telemetry with a pointer chase instead of a map
+	// lookup. Only exact-tier paths read or write it: a megaflow hit
+	// serves many flows from one entry, so the dispatch resolves
+	// those records per packet instead (see classifyAndRun).
 	tel atomic.Pointer[telemetry.Record]
+
+	// refs counts the tiers mapping this entry, maintained by the
+	// chain on install and the pool on release. It is touched only on
+	// install/unpublish slow paths, never per packet.
+	refs atomic.Int32
 
 	// uncacheable marks recorder state that must not be installed: the
 	// walk ended in a table miss (a later flow-add must see the key
@@ -103,9 +120,26 @@ type microflow struct {
 	uncacheable bool
 }
 
+// reset returns the entry to a reusable zero state, dropping every
+// reference it holds but keeping the deps/ops slice capacity — the
+// point of pooling: steady-state recording reuses the arrays.
+func (mf *CacheEntry) reset() {
+	clear(mf.deps)
+	mf.deps = mf.deps[:0]
+	clear(mf.ops)
+	mf.ops = mf.ops[:0]
+	mf.groups = nil
+	mf.groupRev = 0
+	mf.mask = 0
+	mf.outPort = 0
+	mf.tel.Store(nil)
+	mf.refs.Store(0)
+	mf.uncacheable = false
+}
+
 // valid reports whether every recorded revision still matches the live
 // tables (and group table), i.e. replaying cannot disagree with a walk.
-func (mf *microflow) valid() bool {
+func (mf *CacheEntry) valid() bool {
 	for i := range mf.deps {
 		if mf.deps[i].table.Version() != mf.deps[i].rev {
 			return false
@@ -121,7 +155,7 @@ func (mf *microflow) valid() bool {
 // concrete datapath port and remembers it as the flow's egress
 // interface for telemetry. Reserved ports (controller, flood, ...)
 // stay 0: the telemetry record then reports "no single egress".
-func (mf *microflow) resolveOutPort() {
+func (mf *CacheEntry) resolveOutPort() {
 	for i := range mf.ops {
 		for _, a := range mf.ops[i].acts {
 			if out, ok := a.(*openflow.ActionOutput); ok && out.Port < openflow.PortMax {
@@ -133,10 +167,12 @@ func (mf *microflow) resolveOutPort() {
 }
 
 // telRecord returns the flow's telemetry record, resolving and caching
-// it on first touch. A cached pointer minted by a different table
-// (SetTelemetry swapped the plane out mid-flight) is re-resolved, so
-// a stale record is never indexed into the wrong table's shards.
-func (mf *microflow) telRecord(t *telemetry.Table, key *pkt.Key) *telemetry.Record {
+// it on first touch — valid only for exact-tier hits, where the
+// packet's key IS the entry's flow. A cached pointer minted by a
+// different table (SetTelemetry swapped the plane out mid-flight) is
+// re-resolved, so a stale record is never indexed into the wrong
+// table's shards.
+func (mf *CacheEntry) telRecord(t *telemetry.Table, key *pkt.Key) *telemetry.Record {
 	if rec := mf.tel.Load(); t.Owns(rec) {
 		return rec
 	}
@@ -151,7 +187,7 @@ func (mf *microflow) telRecord(t *telemetry.Table, key *pkt.Key) *telemetry.Reco
 // defense-in-depth rather than load-bearing: it additionally forces a
 // fresh walk after any group-mod, at the cost of re-recording the
 // affected megaflows.
-func (mf *microflow) usesGroups() bool {
+func (mf *CacheEntry) usesGroups() bool {
 	for i := range mf.ops {
 		for _, a := range mf.ops[i].acts {
 			if _, ok := a.(*openflow.ActionGroup); ok {
@@ -162,43 +198,50 @@ func (mf *microflow) usesGroups() bool {
 	return false
 }
 
-// cacheShard is one independently locked slice of the cache.
+// cacheShard is one independently locked slice of a tier's storage.
 type cacheShard struct {
 	mu    sync.RWMutex
-	flows map[pkt.Key]*microflow
+	flows map[pkt.Key]*CacheEntry
 }
 
-// microflowCache is the sharded exact-match cache.
-type microflowCache struct {
-	shards [microflowShards]cacheShard
+// microflowTier is the sharded exact-match tier: full header key ->
+// program. The cheapest hit in the chain, probed first.
+type microflowTier struct {
+	shards [cacheShards]cacheShard
 	cap    int // per-shard entry cap
+	pool   *entryPool
 	stats  stats.CacheCounters
 }
 
-// newMicroflowCache sizes a cache for totalCap megaflows.
-func newMicroflowCache(totalCap int) *microflowCache {
-	perShard := totalCap / microflowShards
+// newMicroflowTier sizes an exact-match tier for totalCap entries.
+func newMicroflowTier(totalCap int, pool *entryPool) *microflowTier {
+	perShard := totalCap / cacheShards
 	if perShard < 1 {
 		perShard = 1
 	}
-	c := &microflowCache{cap: perShard}
+	c := &microflowTier{cap: perShard, pool: pool}
 	for i := range c.shards {
-		c.shards[i].flows = make(map[pkt.Key]*microflow)
+		c.shards[i].flows = make(map[pkt.Key]*CacheEntry)
 	}
 	return c
 }
 
-func (c *microflowCache) shardFor(k *pkt.Key) *cacheShard {
-	return &c.shards[k.Hash()&(microflowShards-1)]
-}
+// Name implements CacheTier.
+func (c *microflowTier) Name() string { return "microflow" }
 
-// lookup returns a still-valid megaflow for the key, or nil. Stale
+// Exact implements CacheTier: a hit's key equals the installed key.
+func (c *microflowTier) Exact() bool { return true }
+
+// Counters implements CacheTier.
+func (c *microflowTier) Counters() *stats.CacheCounters { return &c.stats }
+
+// Lookup returns a still-valid entry for the key, or nil. Stale
 // entries are removed on the way out; hit/miss/invalidation counters
 // are maintained here.
 //
 //harmless:hotpath
-func (c *microflowCache) lookup(k *pkt.Key) *microflow {
-	sh := c.shardFor(k)
+func (c *microflowTier) Lookup(k *pkt.Key, hash uint64) *CacheEntry {
+	sh := &c.shards[uint32(hash)&(cacheShards-1)]
 	sh.mu.RLock()
 	mf := sh.flows[*k]
 	sh.mu.RUnlock()
@@ -212,8 +255,11 @@ func (c *microflowCache) lookup(k *pkt.Key) *microflow {
 		// installed a fresher replacement already.
 		if sh.flows[*k] == mf {
 			delete(sh.flows, *k)
+			sh.mu.Unlock()
+			c.pool.release(mf)
+		} else {
+			sh.mu.Unlock()
 		}
-		sh.mu.Unlock()
 		c.stats.Invalidations.Inc()
 		c.stats.Misses.Inc()
 		return nil
@@ -222,41 +268,21 @@ func (c *microflowCache) lookup(k *pkt.Key) *microflow {
 	return mf
 }
 
-// probeBatch looks up every key of a batch in one pass grouped by
-// shard: frames are first chained per shard through heads/next (an
-// intrusive per-shard index list), then each shard's read lock is
-// taken ONCE and all of its keys probed under it — the per-batch
-// amortization of the per-frame lock in lookup. out[i] receives a
-// still-valid megaflow or nil; skip[i] frames are left nil.
-//
-// Only HITS are counted here. Frames left nil fall back to the
-// per-frame lookup on the slow path, which performs the exact
-// miss/invalidation accounting and stale-entry removal — and can
-// legitimately hit an entry that an earlier frame of the same batch
-// just installed, exactly as a sequence of Receive calls would.
+// ProbeBatch consumes the chain-prepared per-shard frame chains: each
+// shard's read lock is taken ONCE and all of its keys probed under it
+// — the per-batch amortization of the per-frame lock in Lookup.
+// Stale entries are left nil (no removal) for the slow path.
 //
 //harmless:hotpath
-func (c *microflowCache) probeBatch(keys []pkt.Key, skip []bool, out []*microflow, heads *[microflowShards]int32, next []int32) {
-	for i := range heads {
-		heads[i] = -1
-	}
-	for i := len(keys) - 1; i >= 0; i-- {
-		out[i] = nil
-		if skip[i] {
-			continue
-		}
-		sh := keys[i].Hash() & (microflowShards - 1)
-		next[i] = heads[sh]
-		heads[sh] = int32(i)
-	}
+func (c *microflowTier) ProbeBatch(keys []pkt.Key, skip []bool, out []*CacheEntry, sc *ProbeScratch) {
 	for si := range c.shards {
-		i := heads[si]
+		i := sc.Heads[si]
 		if i < 0 {
 			continue
 		}
 		sh := &c.shards[si]
 		sh.mu.RLock()
-		for ; i >= 0; i = next[i] {
+		for ; i >= 0; i = sc.Next[i] {
 			out[i] = sh.flows[keys[i]]
 		}
 		sh.mu.RUnlock()
@@ -279,27 +305,79 @@ func (c *microflowCache) probeBatch(keys []pkt.Key, skip []bool, out []*microflo
 	}
 }
 
-// insert installs a recorded megaflow, evicting an arbitrary entry of
+// Install publishes a recorded entry, evicting an arbitrary entry of
 // the same shard when the shard is at capacity (map iteration order
 // gives a cheap pseudo-random victim, which is how the OVS microflow
 // cache handles thrash: constant-time displacement, no LRU tracking).
-func (c *microflowCache) insert(k *pkt.Key, mf *microflow) {
-	sh := c.shardFor(k)
+func (c *microflowTier) Install(k *pkt.Key, mf *CacheEntry) bool {
+	sh := &c.shards[uint32(k.Hash())&(cacheShards-1)]
+	var victim, old *CacheEntry
 	sh.mu.Lock()
-	if _, exists := sh.flows[*k]; !exists && len(sh.flows) >= c.cap {
-		for victim := range sh.flows {
-			delete(sh.flows, victim)
-			c.stats.Evictions.Inc()
+	if prev, exists := sh.flows[*k]; exists {
+		old = prev
+	} else if len(sh.flows) >= c.cap {
+		for vk, v := range sh.flows {
+			delete(sh.flows, vk)
+			victim = v
 			break
 		}
 	}
 	sh.flows[*k] = mf
 	sh.mu.Unlock()
+	if old != nil {
+		c.pool.release(old)
+	}
+	if victim != nil {
+		c.pool.release(victim)
+		c.stats.Evictions.Inc()
+	}
 	c.stats.Inserts.Inc()
+	return true
 }
 
-// Len returns the number of cached megaflows (diagnostics only).
-func (c *microflowCache) Len() int {
+// Invalidate implements CacheTier: drop everything.
+func (c *microflowTier) Invalidate() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, mf := range sh.flows {
+			delete(sh.flows, k)
+			c.pool.release(mf)
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	if n > 0 {
+		c.stats.Invalidations.Add(uint64(n))
+	}
+	return n
+}
+
+// Sweep implements CacheTier: remove entries whose recorded revisions
+// went stale, so a quiet cache does not hold dead table references.
+func (c *microflowTier) Sweep() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, mf := range sh.flows {
+			if !mf.valid() {
+				delete(sh.flows, k)
+				c.pool.release(mf)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if n > 0 {
+		c.stats.Invalidations.Add(uint64(n))
+	}
+	return n
+}
+
+// Len returns the number of cached entries (diagnostics only).
+func (c *microflowTier) Len() int {
 	n := 0
 	for i := range c.shards {
 		c.shards[i].mu.RLock()

@@ -38,7 +38,9 @@ func TestMicroflowCacheHitCounters(t *testing.T) {
 	if cs.Misses.Load() != 1 || cs.Hits.Load() != 4 || cs.Inserts.Load() != 1 {
 		t.Errorf("cache stats: %s", cs)
 	}
-	if r.sw.CacheLen() != 1 {
+	// One program, two tiers: the exact-match entry plus the megaflow
+	// entry for its mask class.
+	if r.sw.CacheLen() != 2 {
 		t.Errorf("cache len = %d", r.sw.CacheLen())
 	}
 	// Flow counters must account every packet, cached or not.
@@ -193,9 +195,16 @@ func TestCachedMatchesUncached(t *testing.T) {
 }
 
 func TestCacheEvictionUnderThrash(t *testing.T) {
-	// Capacity of one megaflow per shard: distinct flows fight for
-	// slots, forwarding must stay correct throughout.
-	r := newRig(t, 2, WithMicroflowCacheSize(microflowShards))
+	// Capacity of one entry per shard per tier: distinct flows fight
+	// for slots, forwarding must stay correct throughout. Bypass is off
+	// so the chain keeps installing however bad the hit rate gets. The
+	// never-matched src-port entry widens table 0's consult mask to
+	// include l4_src, so the 200 flows land in 200 distinct megaflow
+	// classes rather than collapsing into one match-anything entry.
+	r := newRig(t, 2, WithMicroflowCacheSize(cacheShards), WithAdaptiveBypass(false))
+	distract := openflow.Match{}
+	distract.WithEthType(pkt.EtherTypeIPv4).WithIPProto(pkt.IPProtoUDP).WithUDPSrc(9999)
+	addFlow(t, r.sw, 0, 5, distract, apply(out(2)))
 	addFlow(t, r.sw, 0, 1, openflow.Match{}, apply(out(2)))
 	n := 0
 	for i := 0; i < 4; i++ {
@@ -211,7 +220,7 @@ func TestCacheEvictionUnderThrash(t *testing.T) {
 	if cs.Evictions.Load() == 0 {
 		t.Errorf("no evictions under thrash: %s", cs)
 	}
-	if r.sw.CacheLen() > microflowShards {
+	if r.sw.CacheLen() > 2*cacheShards {
 		t.Errorf("cache grew past capacity: %d", r.sw.CacheLen())
 	}
 }

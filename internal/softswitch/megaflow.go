@@ -1,0 +1,268 @@
+package softswitch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/harmless-sdn/harmless/internal/flowtable"
+	"github.com/harmless-sdn/harmless/internal/pkt"
+	"github.com/harmless-sdn/harmless/internal/stats"
+)
+
+// The wildcard megaflow tier: one cached program per mask-equivalence
+// class instead of per exact flow. The recorder accumulates the
+// ConsultMask union of every table a slow-path walk traverses
+// (pipeline.go); this tier then maps the packet key PROJECTED through
+// that mask (flowtable.MatchMask.Apply) to the program. Any later
+// packet agreeing on the consulted fields — whatever its other header
+// values — projects to the same key and replays the same program,
+// which is sound because no traversed table could have told the two
+// packets apart (see MatchMask.Apply and Table.ConsultMask for the
+// per-table argument; the walk-level one is induction over the goto
+// chain: equal projections select equal entries, so equal
+// instructions, so the same next table).
+//
+// Storage is tuple-space style, one exact-match sub-table per
+// distinct mask (the megaflow analogue of the specializer's
+// templates): a small RCU list of mask groups, each sharded like the
+// exact tier. Lookup scans the groups in insertion order and takes
+// the first valid hit — when two groups hold valid entries for the
+// same packet, both were recorded against identical table revisions,
+// so their programs are interchangeable. Validation, revision
+// semantics and eviction policy mirror the microflow tier exactly;
+// per-packet operations (meters, SELECT group hashing) are re-run per
+// packet at replay, so sharing one entry across many flows does not
+// blur them.
+
+// megaflowMaxMasks bounds the group list: each group adds a
+// projection+hash+probe to the miss path, so a pathological ruleset
+// churning masks falls back to declining installs rather than
+// degrading every lookup.
+const megaflowMaxMasks = 16
+
+// megaMask is one mask class: an exact-match table over projected
+// keys, sharded like the exact tier.
+type megaMask struct {
+	mask   flowtable.MatchMask
+	shards [cacheShards]cacheShard
+}
+
+// megaflowTier implements CacheTier over a tuple space of mask groups.
+type megaflowTier struct {
+	masks atomic.Pointer[[]*megaMask] // RCU: append-only under mu
+	mu    sync.Mutex                  // serializes group creation
+	cap   int                         // per-group per-shard entry cap
+	pool  *entryPool
+	stats stats.CacheCounters
+}
+
+// newMegaflowTier sizes a wildcard tier for totalCap entries per mask
+// group.
+func newMegaflowTier(totalCap int, pool *entryPool) *megaflowTier {
+	perShard := totalCap / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	t := &megaflowTier{cap: perShard, pool: pool}
+	empty := []*megaMask{}
+	t.masks.Store(&empty)
+	return t
+}
+
+// Name implements CacheTier.
+func (t *megaflowTier) Name() string { return "megaflow" }
+
+// Exact implements CacheTier: a hit only proves the packet is in the
+// entry's mask class, not that it is the recording flow.
+func (t *megaflowTier) Exact() bool { return false }
+
+// Counters implements CacheTier.
+func (t *megaflowTier) Counters() *stats.CacheCounters { return &t.stats }
+
+// Lookup implements CacheTier. The chain-provided full-key hash is
+// unused: each group hashes its own projection of the key.
+//
+//harmless:hotpath
+func (t *megaflowTier) Lookup(k *pkt.Key, _ uint64) *CacheEntry {
+	return t.probe(k, true)
+}
+
+// probe scans the mask groups for a valid entry. slow selects the
+// slow-path contract (count misses, remove stale entries); the batch
+// probe passes false and leaves both to the per-frame path.
+//
+//harmless:hotpath
+func (t *megaflowTier) probe(k *pkt.Key, slow bool) *CacheEntry {
+	for _, g := range *t.masks.Load() {
+		pk := g.mask.Apply(k)
+		sh := &g.shards[uint32(pk.Hash())&(cacheShards-1)]
+		sh.mu.RLock()
+		mf := sh.flows[pk]
+		sh.mu.RUnlock()
+		if mf == nil {
+			continue
+		}
+		if mf.valid() {
+			t.stats.Hits.Inc()
+			return mf
+		}
+		if slow {
+			sh.mu.Lock()
+			if sh.flows[pk] == mf {
+				delete(sh.flows, pk)
+				sh.mu.Unlock()
+				t.pool.release(mf)
+			} else {
+				sh.mu.Unlock()
+			}
+			t.stats.Invalidations.Inc()
+		}
+	}
+	if slow {
+		t.stats.Misses.Inc()
+	}
+	return nil
+}
+
+// ProbeBatch implements CacheTier: per-frame group probes for the
+// residue the exact tier left nil. The group list is usually tiny
+// (one mask class per distinct ruleset shape), so per-frame probing
+// without shard grouping is the right trade here.
+//
+//harmless:hotpath
+func (t *megaflowTier) ProbeBatch(keys []pkt.Key, skip []bool, out []*CacheEntry, sc *ProbeScratch) {
+	if len(*t.masks.Load()) == 0 {
+		return
+	}
+	for i := range keys {
+		if skip[i] || out[i] != nil || sc.ShardBypassed(sc.Hash[i]) {
+			continue
+		}
+		out[i] = t.probe(&keys[i], false)
+	}
+}
+
+// group returns the sub-table for a mask, creating it on first use
+// (nil when the group list is full).
+func (t *megaflowTier) group(mask flowtable.MatchMask) *megaMask {
+	for _, g := range *t.masks.Load() {
+		if g.mask == mask {
+			return g
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := *t.masks.Load()
+	for _, g := range cur {
+		if g.mask == mask {
+			return g
+		}
+	}
+	if len(cur) >= megaflowMaxMasks {
+		return nil
+	}
+	g := &megaMask{mask: mask}
+	for i := range g.shards {
+		g.shards[i].flows = make(map[pkt.Key]*CacheEntry)
+	}
+	next := make([]*megaMask, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = g
+	t.masks.Store(&next)
+	return g
+}
+
+// Install implements CacheTier: publish the entry under its mask
+// class, declining when the mask-group table is full.
+func (t *megaflowTier) Install(k *pkt.Key, mf *CacheEntry) bool {
+	g := t.group(mf.mask)
+	if g == nil {
+		return false
+	}
+	pk := mf.mask.Apply(k)
+	sh := &g.shards[uint32(pk.Hash())&(cacheShards-1)]
+	var victim, old *CacheEntry
+	sh.mu.Lock()
+	if prev, exists := sh.flows[pk]; exists {
+		old = prev
+	} else if len(sh.flows) >= t.cap {
+		for vk, v := range sh.flows {
+			delete(sh.flows, vk)
+			victim = v
+			break
+		}
+	}
+	sh.flows[pk] = mf
+	sh.mu.Unlock()
+	if old != nil {
+		t.pool.release(old)
+	}
+	if victim != nil {
+		t.pool.release(victim)
+		t.stats.Evictions.Inc()
+	}
+	t.stats.Inserts.Inc()
+	return true
+}
+
+// Invalidate implements CacheTier: drop everything (the group list
+// itself stays; empty groups are cheap to probe and reappear with the
+// same masks anyway).
+func (t *megaflowTier) Invalidate() int {
+	n := 0
+	for _, g := range *t.masks.Load() {
+		for i := range g.shards {
+			sh := &g.shards[i]
+			sh.mu.Lock()
+			for k, mf := range sh.flows {
+				delete(sh.flows, k)
+				t.pool.release(mf)
+				n++
+			}
+			sh.mu.Unlock()
+		}
+	}
+	if n > 0 {
+		t.stats.Invalidations.Add(uint64(n))
+	}
+	return n
+}
+
+// Sweep implements CacheTier: remove revision-stale entries.
+func (t *megaflowTier) Sweep() int {
+	n := 0
+	for _, g := range *t.masks.Load() {
+		for i := range g.shards {
+			sh := &g.shards[i]
+			sh.mu.Lock()
+			for k, mf := range sh.flows {
+				if !mf.valid() {
+					delete(sh.flows, k)
+					t.pool.release(mf)
+					n++
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
+	if n > 0 {
+		t.stats.Invalidations.Add(uint64(n))
+	}
+	return n
+}
+
+// Len implements CacheTier.
+func (t *megaflowTier) Len() int {
+	n := 0
+	for _, g := range *t.masks.Load() {
+		for i := range g.shards {
+			g.shards[i].mu.RLock()
+			n += len(g.shards[i].flows)
+			g.shards[i].mu.RUnlock()
+		}
+	}
+	return n
+}
+
+// MaskCount returns the number of live mask classes (diagnostics).
+func (t *megaflowTier) MaskCount() int { return len(*t.masks.Load()) }

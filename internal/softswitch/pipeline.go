@@ -20,7 +20,7 @@ import (
 // per packet in recorded order, so their per-packet semantics — which
 // tables get credited before a meter drop, with which frame size —
 // are identical to the pipeline walk that was recorded.
-func (s *Switch) replayMicroflow(mf *microflow, inPort uint32, frame []byte, tx *txContext) {
+func (s *Switch) replayMicroflow(mf *CacheEntry, inPort uint32, frame []byte, tx *txContext) {
 	for i := range mf.ops {
 		op := &mf.ops[i]
 		switch op.kind {
@@ -61,17 +61,20 @@ func (s *Switch) runPipeline(inPort uint32, frame []byte, startTable uint8, tx *
 // runPipelineKeyed executes tables from startTable onwards for an
 // already-extracted key. When rec is non-nil every consulted table
 // (with its pre-lookup revision) and every executed operation is
-// recorded so the walk's decision can be cached as a megaflow. The
-// revision is read *before* the lookup: a flow-mod racing the walk
-// then leaves the recording stale-by-revision rather than wrongly
-// valid.
-func (s *Switch) runPipelineKeyed(key *pkt.Key, inPort uint32, frame []byte, startTable uint8, rec *microflow, tx *txContext) {
+// recorded so the walk's decision can be cached; the table's consult
+// mask is folded into rec.mask at the same point, so the recording
+// also captures the minimal wildcard mask the megaflow tier needs.
+// The revision is read *before* the lookup: a flow-mod racing the
+// walk then leaves the recording stale-by-revision rather than
+// wrongly valid.
+func (s *Switch) runPipelineKeyed(key *pkt.Key, inPort uint32, frame []byte, startTable uint8, rec *CacheEntry, tx *txContext) {
 	var actionSet []openflow.Action
 	tableID := startTable
 	for {
 		var rev uint64
 		if rec != nil {
 			rev = s.tables[tableID].Version()
+			rec.mask = rec.mask.Union(s.tables[tableID].ConsultMask())
 		}
 		entry := s.lookup(tableID, key, len(frame))
 		if entry == nil {

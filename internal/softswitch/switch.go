@@ -8,17 +8,24 @@
 //
 // The hot-path entry point is ReceiveBatch (batch.go), which amortizes
 // key extraction, cache shard locks and egress flushes over a frame
-// vector; Receive is its one-frame wrapper. The datapath layers three
+// vector; Receive is its one-frame wrapper. The datapath layers four
 // lookup modes, fastest first:
 //
 //  1. a microflow cache (cache.go) — an OVS-style sharded exact-match
-//     map from the packet's header key to a pre-resolved megaflow,
+//     map from the packet's header key to a pre-resolved program,
 //     revalidated against table revisions on every hit, enabled by
 //     default;
-//  2. the ESwitch-style compiled fast path (flowtable.Compile),
+//  2. a wildcard megaflow cache (megaflow.go) — one entry per
+//     mask-equivalence class, probed on the packet key projected
+//     through the union of the consulted tables' match masks, so a
+//     churn of short-lived flows sharing a ruleset shape still hits;
+//  3. the ESwitch-style compiled fast path (flowtable.Compile),
 //     rebuilt lazily whenever the table version changes, opt-in via
 //     WithSpecialization;
-//  3. the generic priority scan of internal/flowtable.
+//  4. the generic priority scan of internal/flowtable.
+//
+// Tiers 1 and 2 compose behind the CacheTier interface (tier.go) as an
+// ordered chain with pooled entries and per-shard adaptive bypass.
 //
 // See DESIGN.md for the full datapath walk and the cache's
 // invalidation rules.
@@ -67,8 +74,11 @@ type Switch struct {
 	specialize bool
 	fast       []atomic.Pointer[fastState]
 
-	cacheSize int // microflow-cache capacity; <=0 disables
-	cache     *microflowCache
+	cacheSize      int  // per-tier cache capacity; <=0 disables the chain
+	megaflow       bool // wildcard megaflow tier on top of the exact tier
+	adaptiveBypass bool // per-shard hit-rate bypass
+	injectedTiers  []CacheTier
+	cache          *cacheChain
 
 	// telemetry, when non-nil, receives per-flow accounting from the
 	// batch dispatch path. Atomic so it can be attached to a running
@@ -111,9 +121,27 @@ func WithMicroflowCache(on bool) Option {
 	}
 }
 
-// WithMicroflowCacheSize bounds the microflow cache to roughly n
-// megaflow entries (n <= 0 disables the cache).
+// WithMicroflowCacheSize bounds each cache tier to roughly n entries
+// (n <= 0 disables the cache chain).
 func WithMicroflowCacheSize(n int) Option { return func(s *Switch) { s.cacheSize = n } }
+
+// WithMegaflowCache switches the wildcard megaflow tier on or off (on
+// by default; the exact-match tier is governed by WithMicroflowCache).
+func WithMegaflowCache(on bool) Option { return func(s *Switch) { s.megaflow = on } }
+
+// WithAdaptiveBypass switches the per-shard hit-rate bypass on or off
+// (on by default). With it off the chain records and installs on every
+// miss, whatever the hit rate — the right setting for alloc-profile
+// tests and workloads known to be cache-friendly.
+func WithAdaptiveBypass(on bool) Option { return func(s *Switch) { s.adaptiveBypass = on } }
+
+// WithCacheTiers replaces the default tier stack (exact microflow +
+// wildcard megaflow) with an explicit ordered chain — the injection
+// point for custom CacheTier implementations and for tests. The
+// chain's capacity, bypass and pooling machinery still apply.
+func WithCacheTiers(tiers ...CacheTier) Option {
+	return func(s *Switch) { s.injectedTiers = tiers }
+}
 
 // WithTelemetry attaches a flow-telemetry table at construction time
 // (SetTelemetry attaches one to a running switch).
@@ -134,13 +162,15 @@ func WithNumTables(n int) Option {
 // New creates a switch with the given datapath id.
 func New(name string, dpid uint64, opts ...Option) *Switch {
 	s := &Switch{
-		name:      name,
-		dpid:      dpid,
-		clock:     netem.RealClock{},
-		groups:    flowtable.NewGroupTable(),
-		ports:     make(map[uint32]*swPort),
-		buffers:   newBufferPool(256),
-		cacheSize: DefaultMicroflowCacheSize,
+		name:           name,
+		dpid:           dpid,
+		clock:          netem.RealClock{},
+		groups:         flowtable.NewGroupTable(),
+		ports:          make(map[uint32]*swPort),
+		buffers:        newBufferPool(256),
+		cacheSize:      DefaultMicroflowCacheSize,
+		megaflow:       true,
+		adaptiveBypass: true,
 	}
 	for _, o := range opts {
 		o(s)
@@ -153,7 +183,7 @@ func New(name string, dpid uint64, opts ...Option) *Switch {
 	s.meters = flowtable.NewMeterTable(s.clock)
 	s.fast = make([]atomic.Pointer[fastState], len(s.tables))
 	if s.cacheSize > 0 {
-		s.cache = newMicroflowCache(s.cacheSize)
+		s.cache = newCacheChain(s.cacheSize, s.megaflow, s.adaptiveBypass, s.injectedTiers)
 	}
 	return s
 }
@@ -196,21 +226,59 @@ func (s *Switch) SetTelemetry(t *telemetry.Table) { s.telemetry.Store(t) }
 // Telemetry returns the attached flow-telemetry table (nil if none).
 func (s *Switch) Telemetry() *telemetry.Table { return s.telemetry.Load() }
 
-// CacheStats exposes the microflow-cache counters, or nil when the
-// cache is disabled.
+// CacheStats returns a point-in-time snapshot of the cache chain's
+// aggregated counters (hits summed over tiers, misses and bypasses at
+// chain level), or nil when the cache is disabled.
 func (s *Switch) CacheStats() *stats.CacheCounters {
 	if s.cache == nil {
 		return nil
 	}
-	return &s.cache.stats
+	return s.cache.statsSnapshot()
 }
 
-// CacheLen returns the number of cached megaflows (0 when disabled).
+// CacheTierStats is one tier's identity and counters, snapshotted for
+// diagnostics (/stats in harmlessd).
+type CacheTierStats struct {
+	Name          string `json:"name"`
+	Exact         bool   `json:"exact"`
+	Len           int    `json:"len"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Inserts       uint64 `json:"inserts"`
+	Invalidations uint64 `json:"invalidations"`
+	Evictions     uint64 `json:"evictions"`
+}
+
+// CacheTierStats snapshots each tier of the cache chain in probe order
+// (nil when the cache is disabled).
+func (s *Switch) CacheTierStats() []CacheTierStats {
+	if s.cache == nil {
+		return nil
+	}
+	out := make([]CacheTierStats, 0, len(s.cache.tiers))
+	for _, t := range s.cache.tiers {
+		c := t.Counters()
+		out = append(out, CacheTierStats{
+			Name:          t.Name(),
+			Exact:         t.Exact(),
+			Len:           t.Len(),
+			Hits:          c.Hits.Load(),
+			Misses:        c.Misses.Load(),
+			Inserts:       c.Inserts.Load(),
+			Invalidations: c.Invalidations.Load(),
+			Evictions:     c.Evictions.Load(),
+		})
+	}
+	return out
+}
+
+// CacheLen returns the number of cached entries across all tiers (0
+// when disabled).
 func (s *Switch) CacheLen() int {
 	if s.cache == nil {
 		return 0
 	}
-	return s.cache.Len()
+	return s.cache.len()
 }
 
 // AttachPort binds an arbitrary PortBackend as datapath port no. The
@@ -368,6 +436,12 @@ func (s *Switch) SweepExpired() []flowtable.Removed {
 	// step with the datapath counters instead of trailing by an idle
 	// timeout, and unrelated flows keep their windows.
 	if len(expired) > 0 {
+		// Expired entries leave revision-stale cache entries behind;
+		// they would lazily invalidate on next probe, but sweeping here
+		// frees their pool slots promptly.
+		if s.cache != nil {
+			s.cache.sweep()
+		}
 		if tel := s.telemetry.Load(); tel != nil {
 			tel.FlushWhere(func(fk telemetry.FlowKey) bool {
 				k := fk.ToPacketKey()

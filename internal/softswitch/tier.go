@@ -1,0 +1,582 @@
+package softswitch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/harmless-sdn/harmless/internal/pkt"
+	"github.com/harmless-sdn/harmless/internal/stats"
+)
+
+// Cache-tier composition: the datapath flow cache is an ordered chain
+// of CacheTier implementations, probed most-specific first. The
+// shipped chain is the exact-match microflow tier (cache.go) followed
+// by the wildcard megaflow tier (megaflow.go); tests inject fakes via
+// WithCacheTiers, and a future conntrack tier slots in the same way.
+//
+// The chain owns everything the tiers share: the per-packet admission
+// decision (adaptive bypass), the entry pool that makes the install
+// path allocation-free, the ref-counted entry lifecycle, and the
+// chain-level miss/insert accounting. Tiers own their own storage and
+// their own hit/invalidation/eviction counters.
+
+const (
+	// cacheShards is the number of independently locked shards each
+	// tier divides its storage into — also the granularity of the
+	// adaptive-bypass hit-rate tracking. A power of two (shard
+	// selection is a mask) and at most 32 (the batch probe carries a
+	// per-shard bypass bitmask in a uint32).
+	cacheShards = 32
+
+	// DefaultMicroflowCacheSize is the default per-tier capacity of
+	// the flow cache, in cache entries.
+	DefaultMicroflowCacheSize = 1 << 15
+)
+
+// CacheTier is one layer of the datapath flow cache. Implementations
+// must be safe for concurrent use; the built-in tiers shard their
+// storage by pkt.Key hash.
+//
+// Entry lifecycle: the chain ref-counts entries around Install, so a
+// tier never adjusts CacheEntry refs on the way in. On the way out —
+// eviction, replacement, invalidation, sweep, flush — the tier hands
+// every entry it unpublishes to its release hook (the pool's
+// release), which retires the entry for reuse once no tier maps it.
+// A tier without a release hook may simply drop entries; they fall to
+// the garbage collector, which is always safe, just unpooled.
+type CacheTier interface {
+	// Name labels the tier in stats output ("microflow", "megaflow").
+	Name() string
+
+	// Exact reports whether a Lookup hit implies the packet's full
+	// header key equals the installed key. The dispatch uses this to
+	// decide whether the entry's cached telemetry record can be
+	// trusted for the packet (exact tiers) or must be resolved per
+	// packet (wildcard tiers, where one entry serves many flows).
+	Exact() bool
+
+	// Lookup returns a still-valid entry for the key, or nil. hash is
+	// pkt.Key.Hash(), precomputed by the chain so stacked tiers do not
+	// rehash. Tiers account their own hits/misses/invalidations here.
+	Lookup(k *pkt.Key, hash uint64) *CacheEntry
+
+	// ProbeBatch fills out[i] for every frame with skip[i] false,
+	// out[i] nil, and a shard not marked bypassed in sc — taking each
+	// storage shard's lock once per batch where the layout allows.
+	// Only hits are accounted and only valid entries returned; misses
+	// and stale entries are left nil for the per-frame slow path,
+	// which performs the exact accounting (and can legitimately hit
+	// an entry an earlier frame of the same batch installed).
+	ProbeBatch(keys []pkt.Key, skip []bool, out []*CacheEntry, sc *ProbeScratch)
+
+	// Install publishes a recorded entry for the key, or returns
+	// false to decline it (capacity policy, mask-class limits). The
+	// chain has already pinned a reference for this tier.
+	Install(k *pkt.Key, e *CacheEntry) bool
+
+	// Invalidate unpublishes everything and returns the number of
+	// entries dropped.
+	Invalidate() int
+
+	// Sweep unpublishes entries that are no longer valid (stale
+	// revisions) and returns the number removed.
+	Sweep() int
+
+	// Counters exposes the tier's statistics.
+	Counters() *stats.CacheCounters
+
+	// Len returns the number of published entries (diagnostics).
+	Len() int
+}
+
+// ProbeScratch is the chain-prepared shared state of one batch probe:
+// per-frame key hashes, the per-shard intrusive frame chains the
+// exact tier consumes (shard = low hash bits & cacheShards-1), and
+// the bypass shard set. It lives in the pooled dispatch state, so
+// batch probes allocate nothing.
+type ProbeScratch struct {
+	// Hash[i] is keys[i].Hash(), valid where skip[i] is false.
+	Hash []uint64
+	// Heads/Next chain frame indices per shard: Heads[s] is the first
+	// frame of shard s (-1 = none), Next[i] the following one. Shards
+	// in bypass have their chains emptied before tiers run.
+	Heads [cacheShards]int32
+	Next  []int32
+	// Bypassed has bit s set when shard s is bypassed this batch.
+	Bypassed uint32
+
+	claimed []bool              // out[i] attribution marker (chain internal)
+	wins    [cacheShards]uint32 // per-shard hits<<16|lookups accumulator
+}
+
+// grow sizes the per-frame slices for a batch of n.
+func (sc *ProbeScratch) grow(n int) {
+	if cap(sc.Hash) < n {
+		sc.Hash = make([]uint64, n)
+		sc.Next = make([]int32, n)
+		sc.claimed = make([]bool, n)
+	}
+	sc.Hash = sc.Hash[:n]
+	sc.Next = sc.Next[:n]
+	sc.claimed = sc.claimed[:n]
+}
+
+// ShardBypassed reports whether the frame with the given key hash
+// falls into a shard the chain bypassed for this batch.
+func (sc *ProbeScratch) ShardBypassed(hash uint64) bool {
+	return sc.Bypassed&(1<<(uint32(hash)&(cacheShards-1))) != 0
+}
+
+// entryPool recycles CacheEntry recorder state so the install path is
+// allocation-free in steady state. Reclamation is epoch-style: every
+// dispatch pins the pool for its duration, an entry unmapped from all
+// tiers goes to a limbo list, and limbo drains to the free list only
+// at a moment provably after every dispatch that could still hold a
+// reference:
+//
+//	holder's pin -> shard RLock -> remover's shard Lock -> limbo push
+//	-> reclaimer's limbo Lock -> pins load
+//
+// The reclaimer drains limbo FIRST and checks pins SECOND: any
+// dispatch that might hold a drained entry pinned before that entry
+// was pushed to limbo (it found it in a shard map), so at drain time
+// it either still shows in pins (the batch is put back) or it has
+// unpinned and can no longer touch the entry. Pins that show up after
+// the check belong to dispatches that started after the entries were
+// already unreachable.
+type entryPool struct {
+	pins atomic.Int64 // in-flight dispatches
+
+	freeMu sync.Mutex
+	free   []*CacheEntry
+
+	limboMu sync.Mutex
+	limbo   []*CacheEntry
+	spare   []*CacheEntry // recycled limbo buffer (nil when in use)
+	limboN  atomic.Int32  // len(limbo), readable without the lock
+
+	max int // free-list cap; overflow falls to the GC
+}
+
+const limboMax = 1 << 14 // backlog cap under sustained concurrency
+
+func newEntryPool(totalCap int) *entryPool {
+	return &entryPool{max: 2*totalCap + 1024}
+}
+
+// pin marks a dispatch in flight. Must precede the first tier probe.
+func (p *entryPool) pin() { p.pins.Add(1) }
+
+// unpin ends a dispatch; the last one out drains limbo.
+func (p *entryPool) unpin() {
+	if p.pins.Add(-1) == 0 && p.limboN.Load() > 0 {
+		p.reclaim()
+	}
+}
+
+// acquire returns a reset entry, reusing a reclaimed one when
+// available.
+func (p *entryPool) acquire() *CacheEntry {
+	p.freeMu.Lock()
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.freeMu.Unlock()
+		return e
+	}
+	p.freeMu.Unlock()
+	return &CacheEntry{}
+}
+
+// giveBack returns an entry that was never published (uncacheable
+// walk, every tier declined): no other goroutine can hold it, so it
+// goes straight back to the free list.
+func (p *entryPool) giveBack(e *CacheEntry) {
+	e.reset()
+	p.freeMu.Lock()
+	if len(p.free) < p.max {
+		p.free = append(p.free, e)
+	}
+	p.freeMu.Unlock()
+}
+
+// release drops one tier's reference; the entry is retired to limbo
+// when no tier maps it anymore.
+func (p *entryPool) release(e *CacheEntry) {
+	if e.refs.Add(-1) == 0 {
+		p.retire(e)
+	}
+}
+
+// retire parks an unmapped entry in limbo until reclaim proves no
+// dispatch can still hold it.
+func (p *entryPool) retire(e *CacheEntry) {
+	p.limboMu.Lock()
+	if len(p.limbo) >= limboMax {
+		// Dispatches never quiesced long enough to drain: hand the
+		// backlog to the GC (always safe; holders keep their own
+		// references) instead of growing without bound.
+		clear(p.limbo)
+		p.limbo = p.limbo[:0]
+		p.limboN.Store(0)
+	}
+	p.limbo = append(p.limbo, e)
+	p.limboN.Add(1)
+	p.limboMu.Unlock()
+}
+
+// reclaim moves limbo to the free list if no dispatch is in flight.
+// Drain-then-check: see the type comment for why this order is what
+// makes reuse safe.
+func (p *entryPool) reclaim() {
+	p.limboMu.Lock()
+	batch := p.limbo
+	if p.spare != nil {
+		p.limbo = p.spare[:0]
+		p.spare = nil
+	} else {
+		p.limbo = nil
+	}
+	p.limboN.Store(0)
+	p.limboMu.Unlock()
+
+	if len(batch) != 0 && p.pins.Load() != 0 {
+		// A dispatch pinned between our unpin and the drain. It cannot
+		// reach these entries (they were unmapped before it started),
+		// but the proof above only covers pins==0 — put them back.
+		p.limboMu.Lock()
+		p.limbo = append(p.limbo, batch...)
+		p.limboN.Add(int32(len(batch)))
+		p.limboMu.Unlock()
+		return
+	}
+
+	for _, e := range batch {
+		e.reset()
+	}
+	p.freeMu.Lock()
+	keep := p.max - len(p.free)
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > len(batch) {
+		keep = len(batch)
+	}
+	p.free = append(p.free, batch[:keep]...)
+	p.freeMu.Unlock()
+
+	clear(batch)
+	p.limboMu.Lock()
+	if p.spare == nil {
+		p.spare = batch[:0]
+	}
+	p.limboMu.Unlock()
+}
+
+// Adaptive bypass: per-shard hit-rate tracking over sliding windows
+// of lookups. A shard whose hit rate collapses (thrash: every flow is
+// new, installs buy nothing) stops consulting and feeding the cache
+// entirely — packets take the plain uncached walk, which the
+// BenchmarkManyFlows baseline shows is ~2x cheaper than paying the
+// install path for zero hits. Bypassed shards periodically re-admit a
+// probation window of packets; if those hit well (the workload became
+// cacheable again), the shard returns to active.
+//
+//	ACTIVE --(bypassLowStreak consecutive windows below
+//	          1/bypassEnterDen hit rate)--> BYPASS
+//	BYPASS --(every bypassRetry skipped packets)--> PROBE
+//	PROBE  --(probe window >= 1/bypassExitDen)--> ACTIVE
+//	PROBE  --(below)--> BYPASS
+//
+// Hits from ANY tier feed the windows, so a workload served by the
+// megaflow tier alone never trips bypass. All transitions are
+// heuristic: counters are racy-by-design (plain atomics, no CAS
+// loops), a lost sample only defers a window roll.
+const (
+	bypassWindow    = 256  // lookups per ACTIVE evaluation window
+	bypassProbeSpan = 64   // lookups per PROBE window
+	bypassLowStreak = 2    // low windows in a row before bypassing
+	bypassRetry     = 8192 // skipped packets between probation windows
+	bypassEnterDen  = 16   // enter when hits < lookups/16 (6.25%)
+	bypassExitDen   = 8    // exit when hits >= lookups/8 (12.5%)
+)
+
+// bypassShard mode values.
+const (
+	modeActive uint32 = iota
+	modeBypass
+	modeProbe
+)
+
+// bypassShard is the admission state of one cache shard.
+type bypassShard struct {
+	win     atomic.Uint64 // hits<<32 | lookups of the current window
+	mode    atomic.Uint32
+	low     atomic.Uint32 // consecutive low ACTIVE windows
+	skipped atomic.Uint32 // packets skipped since the last probe
+}
+
+// admit reports whether the cache should be consulted (and fed) for a
+// packet of this shard.
+func (b *bypassShard) admit() bool {
+	if b.mode.Load() != modeBypass {
+		return true
+	}
+	if b.skipped.Add(1) >= bypassRetry {
+		b.skipped.Store(0)
+		b.win.Store(0)
+		b.mode.Store(modeProbe)
+		return true
+	}
+	return false
+}
+
+// note feeds lookups/hits into the current window and rolls it when
+// full.
+func (b *bypassShard) note(lookups, hits uint32) {
+	w := b.win.Add(uint64(hits)<<32 | uint64(lookups))
+	span := uint32(bypassWindow)
+	if b.mode.Load() == modeProbe {
+		span = bypassProbeSpan
+	}
+	if uint32(w) >= span {
+		b.roll(uint32(w>>32), uint32(w))
+	}
+}
+
+// roll evaluates one full window and advances the state machine.
+func (b *bypassShard) roll(hits, lookups uint32) {
+	b.win.Store(0)
+	switch b.mode.Load() {
+	case modeActive:
+		if hits*bypassEnterDen < lookups {
+			if b.low.Add(1) >= bypassLowStreak {
+				b.low.Store(0)
+				b.skipped.Store(0)
+				b.mode.Store(modeBypass)
+			}
+		} else {
+			b.low.Store(0)
+		}
+	case modeProbe:
+		if hits*bypassExitDen >= lookups {
+			b.low.Store(0)
+			b.mode.Store(modeActive)
+		} else {
+			b.skipped.Store(0)
+			b.mode.Store(modeBypass)
+		}
+	}
+}
+
+// cacheChain composes the cache tiers and owns the shared machinery:
+// bypass admission, the entry pool, chain-level counters.
+type cacheChain struct {
+	tiers []CacheTier
+	exact []bool // tiers[i].Exact(), hoisted off the hot path
+	pool  *entryPool
+
+	bypassOn bool
+	bypass   [cacheShards]bypassShard
+
+	// Chain-level counters: misses (no tier hit), inserts (one per
+	// installed program, regardless of how many tiers accepted it),
+	// bypassed (packets not admitted). Hits, invalidations and
+	// evictions live in the tiers; statsSnapshot folds both views.
+	misses   stats.Counter
+	inserts  stats.Counter
+	bypassed stats.Counter
+}
+
+// newCacheChain assembles the default chain: exact microflow tier,
+// then (optionally) the wildcard megaflow tier.
+func newCacheChain(totalCap int, megaflow, adaptiveBypass bool, injected []CacheTier) *cacheChain {
+	ch := &cacheChain{
+		pool:     newEntryPool(totalCap),
+		bypassOn: adaptiveBypass,
+	}
+	if injected != nil {
+		ch.tiers = injected
+	} else {
+		ch.tiers = []CacheTier{newMicroflowTier(totalCap, ch.pool)}
+		if megaflow {
+			ch.tiers = append(ch.tiers, newMegaflowTier(totalCap, ch.pool))
+		}
+	}
+	ch.exact = make([]bool, len(ch.tiers))
+	for i, t := range ch.tiers {
+		ch.exact[i] = t.Exact()
+	}
+	return ch
+}
+
+// lookup probes the tiers in order for one frame. exact reports
+// whether the hit came from an exact-match tier (telemetry record
+// attribution); record is false when the shard is bypassed — the
+// caller must walk uncached and must not install.
+//
+//harmless:hotpath
+func (ch *cacheChain) lookup(k *pkt.Key) (e *CacheEntry, exact, record bool) {
+	h := k.Hash()
+	b := &ch.bypass[uint32(h)&(cacheShards-1)]
+	if ch.bypassOn && !b.admit() {
+		ch.bypassed.Inc()
+		return nil, false, false
+	}
+	for i, t := range ch.tiers {
+		if e := t.Lookup(k, h); e != nil {
+			if ch.bypassOn {
+				b.note(1, 1)
+			}
+			return e, ch.exact[i], true
+		}
+	}
+	if ch.bypassOn {
+		b.note(1, 0)
+	}
+	ch.misses.Inc()
+	return nil, false, true
+}
+
+// probeBatch prepares the shared scratch (hashes, shard chains,
+// bypass set) and runs every tier's batch probe over the residue of
+// the previous ones. exact[i] is set for frames filled by an
+// exact-match tier. Frames of bypassed shards are left nil without
+// accounting: they reach classifyAndRun, whose per-frame admit does
+// the bypass/probation bookkeeping exactly once.
+//
+//harmless:hotpath
+func (ch *cacheChain) probeBatch(keys []pkt.Key, skip []bool, out []*CacheEntry, exact []bool, sc *ProbeScratch) {
+	n := len(keys)
+	sc.grow(n)
+	for i := range sc.Heads {
+		sc.Heads[i] = -1
+	}
+	sc.Bypassed = 0
+	for i := n - 1; i >= 0; i-- {
+		out[i] = nil
+		exact[i] = false
+		sc.claimed[i] = false
+		if skip[i] {
+			continue
+		}
+		h := keys[i].Hash()
+		sc.Hash[i] = h
+		sh := uint32(h) & (cacheShards - 1)
+		sc.Next[i] = sc.Heads[sh]
+		sc.Heads[sh] = int32(i)
+	}
+	if ch.bypassOn {
+		for si := range sc.Heads {
+			if sc.Heads[si] >= 0 && ch.bypass[si].mode.Load() == modeBypass {
+				sc.Bypassed |= 1 << si
+				sc.Heads[si] = -1
+			}
+		}
+	}
+	for ti, t := range ch.tiers {
+		t.ProbeBatch(keys, skip, out, sc)
+		ex := ch.exact[ti]
+		for i := 0; i < n; i++ {
+			if out[i] != nil && !sc.claimed[i] {
+				sc.claimed[i] = true
+				exact[i] = ex
+			}
+		}
+	}
+	if !ch.bypassOn {
+		return
+	}
+	// Feed the per-shard windows, one atomic add per touched shard.
+	// Frames the batch probe missed are probed again per frame on the
+	// slow path and counted there too; that skews bypassed-rate
+	// tracking toward the miss side, which only makes bypass engage
+	// marginally sooner under thrash — acceptable for a heuristic.
+	for i := 0; i < n; i++ {
+		if skip[i] {
+			continue
+		}
+		sh := uint32(sc.Hash[i]) & (cacheShards - 1)
+		if sc.Bypassed&(1<<sh) != 0 {
+			continue
+		}
+		c := uint32(1)
+		if out[i] != nil {
+			c |= 1 << 16
+		}
+		sc.wins[sh] += c
+	}
+	for sh := range sc.wins {
+		if w := sc.wins[sh]; w != 0 {
+			sc.wins[sh] = 0
+			ch.bypass[sh].note(w&0xffff, w>>16)
+		}
+	}
+}
+
+// install publishes a recorded entry to every tier that will take it.
+// References are pinned before each tier sees the entry, so a
+// concurrently racing invalidation can never retire it while a later
+// tier still expects it live.
+func (ch *cacheChain) install(k *pkt.Key, e *CacheEntry) bool {
+	installed := false
+	for _, t := range ch.tiers {
+		e.refs.Add(1)
+		if t.Install(k, e) {
+			installed = true
+		} else {
+			e.refs.Add(-1)
+		}
+	}
+	if installed {
+		ch.inserts.Inc()
+	}
+	return installed
+}
+
+// sweep removes stale entries from every tier.
+func (ch *cacheChain) sweep() int {
+	n := 0
+	for _, t := range ch.tiers {
+		n += t.Sweep()
+	}
+	return n
+}
+
+// flush unpublishes everything from every tier.
+func (ch *cacheChain) flush() int {
+	n := 0
+	for _, t := range ch.tiers {
+		n += t.Invalidate()
+	}
+	return n
+}
+
+// len sums the tiers' published entries.
+func (ch *cacheChain) len() int {
+	n := 0
+	for _, t := range ch.tiers {
+		n += t.Len()
+	}
+	return n
+}
+
+// statsSnapshot folds the chain-level and per-tier counters into one
+// point-in-time CacheCounters view: hits/invalidations/evictions are
+// summed over the tiers, misses/inserts/bypassed are the chain's own
+// (a packet missing every tier counts one miss; a program accepted by
+// both tiers counts one insert).
+func (ch *cacheChain) statsSnapshot() *stats.CacheCounters {
+	out := &stats.CacheCounters{}
+	for _, t := range ch.tiers {
+		c := t.Counters()
+		out.Hits.Add(c.Hits.Load())
+		out.Invalidations.Add(c.Invalidations.Load())
+		out.Evictions.Add(c.Evictions.Load())
+	}
+	out.Misses.Add(ch.misses.Load())
+	out.Inserts.Add(ch.inserts.Load())
+	out.Bypassed.Add(ch.bypassed.Load())
+	return out
+}

@@ -103,17 +103,19 @@ func (p *PortCounters) String() string {
 		p.RxDropped.Load(), p.TxDropped.Load(), p.RxErrors.Load())
 }
 
-// CacheCounters aggregates the statistics of an exact-match datapath
-// cache (the softswitch microflow cache): how often a packet was
-// served from the cache, how often it had to take the slow pipeline
-// walk, and how much churn the cache saw. All fields are atomic, so
-// the record path stays allocation- and lock-free.
+// CacheCounters aggregates the statistics of a datapath flow cache —
+// one softswitch cache tier (exact-match microflow or wildcard
+// megaflow), or the whole tier chain: how often a packet was served
+// from the cache, how often it had to take the slow pipeline walk,
+// and how much churn the cache saw. All fields are atomic, so the
+// record path stays allocation- and lock-free.
 type CacheCounters struct {
 	Hits          Counter // packet served from a valid cached megaflow
 	Misses        Counter // packet took the full pipeline walk
 	Inserts       Counter // megaflows installed after a walk
 	Invalidations Counter // hits discarded because a revision moved
 	Evictions     Counter // entries displaced by capacity pressure
+	Bypassed      Counter // packets that skipped the cache entirely (adaptive bypass)
 }
 
 // HitRate returns the fraction of packets served from the cache, in
@@ -128,9 +130,9 @@ func (c *CacheCounters) HitRate() float64 {
 
 // String summarizes the counters.
 func (c *CacheCounters) String() string {
-	return fmt.Sprintf("hits=%d misses=%d (%.1f%%) inserts=%d inval=%d evict=%d",
+	return fmt.Sprintf("hits=%d misses=%d (%.1f%%) inserts=%d inval=%d evict=%d bypass=%d",
 		c.Hits.Load(), c.Misses.Load(), c.HitRate()*100,
-		c.Inserts.Load(), c.Invalidations.Load(), c.Evictions.Load())
+		c.Inserts.Load(), c.Invalidations.Load(), c.Evictions.Load(), c.Bypassed.Load())
 }
 
 // TelemetryCounters aggregates the statistics of the flow-telemetry
