@@ -10,7 +10,7 @@ BENCH_PKGS    := ./internal/softswitch ./internal/softswitch/runtime
 
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all lint fuzz-smoke test bench bench-baseline fleetsim-smoke ci
+.PHONY: all lint fuzz-smoke test bench bench-baseline fleetsim-smoke migrate-smoke ci
 
 all: ci
 
@@ -78,4 +78,18 @@ fleetsim-smoke:
 	test -n "$$da" && test "$$da" = "$$db"
 	./fleetsim -scenario examples/fleetsim/packet-failover.json -wall-budget 55s > /dev/null
 
-ci: lint test bench fleetsim-smoke
+# Mirror of the migrate-smoke CI job: the example three-wave campaign
+# (one wave killed by a mid-soak server death and rolled back, one
+# controller failover survived) run twice; both runs must pass their
+# zero-loss + cost-conformance verdicts and produce bitwise-identical
+# digests.
+migrate-smoke:
+	$(GO) build -o migrate-bin ./cmd/migrate
+	./migrate-bin -spec examples/migrate/campaign.json -wall-budget 55s -v -out campaign-a.json > /dev/null
+	./migrate-bin -spec examples/migrate/campaign.json -wall-budget 55s -out campaign-b.json > /dev/null
+	@da="$$(grep -o '"digest": *"[0-9a-f]*"' campaign-a.json)"; \
+	db="$$(grep -o '"digest": *"[0-9a-f]*"' campaign-b.json)"; \
+	echo "run A: $$da"; echo "run B: $$db"; \
+	test -n "$$da" && test "$$da" = "$$db"
+
+ci: lint test bench fleetsim-smoke migrate-smoke

@@ -24,7 +24,7 @@ func buildBinaries(t *testing.T) string {
 		t.Skip("binary integration test")
 	}
 	dir := t.TempDir()
-	for _, name := range []string{"harmlessd", "ofctl", "costcalc", "trafficgen", "flowtop"} {
+	for _, name := range []string{"harmlessd", "ofctl", "costcalc", "trafficgen", "flowtop", "migrate"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -57,6 +57,67 @@ func TestBinaryCostcalc(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "harmless") || !strings.Contains(string(out), "break-even") {
 		t.Errorf("costcalc output:\n%s", out)
+	}
+}
+
+// TestBinaryMigrate drives the campaign engine end to end the way the
+// CI smoke job does: plan, then run the example campaign twice and
+// require identical digests and a passing verdict.
+func TestBinaryMigrate(t *testing.T) {
+	bin := buildBinaries(t)
+	mig := filepath.Join(bin, "migrate")
+
+	plan, err := exec.Command(mig, "-spec", "examples/migrate/campaign.json", "-plan").CombinedOutput()
+	if err != nil {
+		t.Fatalf("migrate -plan: %v\n%s", err, plan)
+	}
+	for _, want := range []string{"3 waves", "cum-spend", "crossover vs rip-and-replace: never"} {
+		if !strings.Contains(string(plan), want) {
+			t.Errorf("plan output missing %q:\n%s", want, plan)
+		}
+	}
+
+	runOnce := func() string {
+		out, err := exec.Command(mig,
+			"-spec", "examples/migrate/campaign.json", "-wall-budget", "55s").CombinedOutput()
+		if err != nil {
+			t.Fatalf("migrate: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+	a, b := runOnce(), runOnce()
+	digest := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "\"digest\"") {
+				return strings.TrimSpace(line)
+			}
+		}
+		return ""
+	}
+	da, db := digest(a), digest(b)
+	if da == "" || da != db {
+		t.Errorf("digests diverge or missing:\n  run1 %s\n  run2 %s", da, db)
+	}
+	for _, want := range []string{`"pass": true`, `"rolledBackWaves": 1`, `"lostDatagrams": 0`, `"costConform": true`} {
+		if !strings.Contains(a, want) {
+			t.Errorf("report missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestBinaryCostcalcCampaign prices the example campaign through the
+// same planner cmd/migrate executes.
+func TestBinaryCostcalcCampaign(t *testing.T) {
+	bin := buildBinaries(t)
+	out, err := exec.Command(filepath.Join(bin, "costcalc"),
+		"-campaign", "examples/migrate/campaign.json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("costcalc -campaign: %v\n%s", err, out)
+	}
+	for _, want := range []string{"three-rack-pilot", "cum-rip&repl", "crossover"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("campaign table missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -67,6 +67,9 @@ var Required = map[string][]string{
 		"Ring.PushFrame",
 		"Ring.PopFrame",
 	},
+	"github.com/harmless-sdn/harmless/internal/migrate": {
+		"Executor.checkConservation",
+	},
 	"hotpathalloc/required": {
 		"mustBeHot",
 	},

@@ -126,6 +126,31 @@ func (c Catalog) Cost(s Strategy, ports int, greenfield bool) (Breakdown, error)
 	return b, nil
 }
 
+// WaveCost prices one HARMLESS migration wave: nSwitches installed
+// legacy switches (sunk cost — this is the migration scenario) each
+// gain exactly one commodity server, together serving ports access
+// ports. Unlike Cost, which sizes the fleet from a port count via
+// ceilDiv, WaveCost takes the switch count as ground truth so a
+// campaign over arbitrarily sized switches books exactly what it
+// deploys; for inventories made of full catalog-standard switches the
+// two agree (see TestWaveCostMatchesCost).
+func (c Catalog) WaveCost(nSwitches, ports int) (Breakdown, error) {
+	if nSwitches <= 0 {
+		return Breakdown{}, fmt.Errorf("cost: wave needs a positive switch count, got %d", nSwitches)
+	}
+	if ports <= 0 {
+		return Breakdown{}, fmt.Errorf("cost: ports must be positive, got %d", ports)
+	}
+	b := Breakdown{Strategy: HARMLESS, Ports: ports, Items: map[string]Item{}}
+	b.Items["legacy-switch (sunk)"] = Item{Count: nSwitches, UnitPrice: 0}
+	b.Items["server"] = Item{Count: nSwitches, UnitPrice: c.ServerPrice}
+	for _, it := range b.Items {
+		b.Total += float64(it.Count) * it.UnitPrice
+	}
+	b.PerPort = b.Total / float64(ports)
+	return b, nil
+}
+
 func ceilDiv(a, b int) int {
 	if b <= 0 {
 		return 0

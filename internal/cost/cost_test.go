@@ -144,3 +144,54 @@ func TestCeilDiv(t *testing.T) {
 		}
 	}
 }
+
+func TestWaveCost(t *testing.T) {
+	c := DefaultCatalog2017()
+	b, err := c.WaveCost(2, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != 2*c.ServerPrice {
+		t.Errorf("total %v, want %v", b.Total, 2*c.ServerPrice)
+	}
+	if b.Items["server"].Count != 2 || b.Items["legacy-switch (sunk)"].Count != 2 {
+		t.Errorf("items: %v", b.Items)
+	}
+	if b.PerPort != b.Total/46 {
+		t.Errorf("per-port %v", b.PerPort)
+	}
+	if b.Strategy != HARMLESS || b.Greenfield {
+		t.Errorf("breakdown tagged wrong: %+v", b)
+	}
+	if _, err := c.WaveCost(0, 10); err == nil {
+		t.Error("zero switches accepted")
+	}
+	if _, err := c.WaveCost(1, 0); err == nil {
+		t.Error("zero ports accepted")
+	}
+}
+
+// TestWaveCostMatchesCost proves the campaign identity the migrate
+// verifier relies on: summing WaveCost over waves of catalog-standard
+// switches lands bitwise on Cost(HARMLESS) for the whole port count.
+func TestWaveCostMatchesCost(t *testing.T) {
+	c := DefaultCatalog2017()
+	for _, nSwitches := range []int{1, 2, 3, 7} {
+		ports := nSwitches * c.LegacySwitchPorts
+		var sum float64
+		for i := 0; i < nSwitches; i++ {
+			b, err := c.WaveCost(1, c.LegacySwitchPorts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += b.Total
+		}
+		whole, err := c.Cost(HARMLESS, ports, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != whole.Total {
+			t.Errorf("%d switches: per-wave sum %v != whole-campaign %v", nSwitches, sum, whole.Total)
+		}
+	}
+}

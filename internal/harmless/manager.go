@@ -1,6 +1,7 @@
 package harmless
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -21,8 +22,9 @@ type Manager struct {
 	snmp   *snmp.Client // optional discovery path
 	cfg    ManagerConfig
 
-	plan *Plan
-	s4   *S4
+	plan       *Plan
+	s4         *S4
+	rolledBack bool
 }
 
 // ManagerConfig parameterizes a migration.
@@ -97,9 +99,18 @@ func (m *Manager) Deploy(trunkPort *netem.Port, controllers []controlplane.Endpo
 		return nil, err
 	}
 	m.plan = plan
+	m.rolledBack = false
 
 	if err := m.configureLegacy(plan); err != nil {
-		return nil, fmt.Errorf("harmless: configuring %s: %w", facts.Hostname, err)
+		// A partially applied tagging layout would leave the switch
+		// tagged with no S4 attached; undo what was pushed before
+		// reporting the failure.
+		err = fmt.Errorf("harmless: configuring %s: %w", facts.Hostname, err)
+		if rbErr := m.rollbackLegacy(plan); rbErr != nil {
+			err = errors.Join(err, rbErr)
+		}
+		m.plan = nil
+		return nil, err
 	}
 
 	s4, err := BuildS4(plan, S4Config{
@@ -109,6 +120,10 @@ func (m *Manager) Deploy(trunkPort *netem.Port, controllers []controlplane.Endpo
 		Clock:      m.cfg.Clock,
 	})
 	if err != nil {
+		if rbErr := m.rollbackLegacy(plan); rbErr != nil {
+			err = errors.Join(err, rbErr)
+		}
+		m.plan = nil
 		return nil, err
 	}
 	s4.AttachTrunk(trunkPort)
@@ -131,6 +146,59 @@ func (m *Manager) configureLegacy(plan *Plan) error {
 		}
 	}
 	return m.driver.ConfigureTrunkPort(plan.TrunkPort, plan.NativeVLAN, plan.TrunkVLANs())
+}
+
+// Rollback restores the legacy switch to its pre-migration state —
+// every migrated port (and the trunk) back to an access port in the
+// native VLAN, the per-port HARMLESS VLANs removed — and stops the
+// S4's control plane. configureLegacy departs from the all-access
+// native-VLAN layout, so undoing it lands exactly there; callers that
+// started from a different layout must restore it themselves.
+//
+// Rollback is idempotent: after a successful Deploy the first call
+// does the work and further calls are no-ops, and it is a no-op when
+// nothing was deployed (Deploy cleans up its own partial failures).
+// Device errors do not stop the sweep; everything that could not be
+// undone is reported in one aggregated error, and the rollback is NOT
+// considered done so a later retry can finish the job.
+func (m *Manager) Rollback() error {
+	if m.plan == nil || m.rolledBack {
+		return nil
+	}
+	if m.s4 != nil {
+		m.s4.Stop()
+		m.s4 = nil
+	}
+	if err := m.rollbackLegacy(m.plan); err != nil {
+		return err
+	}
+	m.rolledBack = true
+	return nil
+}
+
+// rollbackLegacy undoes the tagging layout of configureLegacy,
+// best-effort: a failing port does not strand the rest, and every
+// failure is reported.
+func (m *Manager) rollbackLegacy(plan *Plan) error {
+	var errs []error
+	for _, port := range plan.MigratedPorts() {
+		if err := m.driver.ConfigureAccessPort(port, plan.NativeVLAN); err != nil {
+			errs = append(errs, fmt.Errorf("port %d: %w", port, err))
+		}
+	}
+	if err := m.driver.ConfigureAccessPort(plan.TrunkPort, plan.NativeVLAN); err != nil {
+		errs = append(errs, fmt.Errorf("trunk port %d: %w", plan.TrunkPort, err))
+	}
+	for _, port := range plan.MigratedPorts() {
+		vlan := plan.VLANForPort[port]
+		if err := m.driver.RemoveVLAN(vlan); err != nil {
+			errs = append(errs, fmt.Errorf("vlan %d: %w", vlan, err))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("harmless: rollback of %s incomplete: %w", plan.Hostname, errors.Join(errs...))
+	}
+	return nil
 }
 
 // MigratePort extends a deployed migration by one more access port

@@ -50,6 +50,9 @@ type Driver interface {
 	InterfaceName(port int) string
 	// DeclareVLAN creates a VLAN with a name.
 	DeclareVLAN(id uint16, name string) error
+	// RemoveVLAN deletes a VLAN declaration (used when rolling a
+	// migration back to the pre-wave configuration).
+	RemoveVLAN(id uint16) error
 	// ConfigureAccessPort makes port an access port in vlan.
 	ConfigureAccessPort(port int, vlan uint16) error
 	// ConfigureTrunkPort makes port a trunk with the given native
@@ -312,6 +315,10 @@ func (d *cliDriver) DeclareVLAN(id uint16, name string) error {
 		fmt.Sprintf("name %s", name),
 		"exit",
 	)
+}
+
+func (d *cliDriver) RemoveVLAN(id uint16) error {
+	return d.configSession(fmt.Sprintf("no vlan %d", id))
 }
 
 func (d *cliDriver) ConfigureAccessPort(port int, vlan uint16) error {

@@ -1,0 +1,147 @@
+package migrate
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/cost"
+)
+
+func inventory(n, ports int) []SwitchSpec {
+	out := make([]SwitchSpec, n)
+	for i := range out {
+		out[i] = SwitchSpec{Name: string(rune('a' + i)), Ports: ports, Demand: float64(n - i)}
+	}
+	return out
+}
+
+func TestPlanCampaignWavePacking(t *testing.T) {
+	cat := cost.DefaultCatalog2017()
+	// Budget for two servers per wave, five switches -> waves of 2,2,1.
+	p, err := PlanCampaign(inventory(5, 24), cat, 2*cat.ServerPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Waves) != 3 {
+		t.Fatalf("waves: got %d, want 3", len(p.Waves))
+	}
+	for i, want := range []int{2, 2, 1} {
+		if got := len(p.Waves[i].Switches); got != want {
+			t.Errorf("wave %d: %d switches, want %d", i+1, got, want)
+		}
+	}
+	if p.TotalPorts != 5*23 {
+		t.Errorf("total ports: got %d, want %d", p.TotalPorts, 5*23)
+	}
+	if p.Waves[2].CumulativePorts != p.TotalPorts {
+		t.Errorf("cumulative ports do not reach the total")
+	}
+}
+
+func TestPlanCampaignDemandOrdering(t *testing.T) {
+	cat := cost.DefaultCatalog2017()
+	sw := []SwitchSpec{
+		{Name: "cold", Ports: 24, Demand: 1},
+		{Name: "hot", Ports: 24, Demand: 9},
+		{Name: "warm", Ports: 24, Demand: 5},
+		{Name: "warm2", Ports: 24, Demand: 5}, // tie: keeps inventory order
+	}
+	p, err := PlanCampaign(sw, cat, cat.ServerPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, w := range p.Waves {
+		got = append(got, w.Names()...)
+	}
+	want := []string{"hot", "warm", "warm2", "cold"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("migration order: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPlanCampaignSpendMatchesCostModel is the planner half of the cost
+// conformance invariant: for catalog-sized switches the summed per-wave
+// spend must land bitwise on internal/cost's one-shot HARMLESS price
+// for the same fabric.
+func TestPlanCampaignSpendMatchesCostModel(t *testing.T) {
+	cat := cost.DefaultCatalog2017()
+	for _, n := range []int{1, 2, 3, 7} {
+		p, err := PlanCampaign(inventory(n, cat.LegacySwitchPorts+1), cat, cat.ServerPrice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneShot, err := cat.Cost(cost.HARMLESS, n*cat.LegacySwitchPorts, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.TotalSpend != oneShot.Total {
+			t.Errorf("n=%d: campaign spend $%v != cost model $%v", n, p.TotalSpend, oneShot.Total)
+		}
+		var sum float64
+		for _, w := range p.Waves {
+			sum += w.Cost.Total
+		}
+		if sum != p.TotalSpend {
+			t.Errorf("n=%d: wave costs sum to $%v, plan says $%v", n, sum, p.TotalSpend)
+		}
+	}
+}
+
+func TestPlanCampaignCrossover(t *testing.T) {
+	cat := cost.DefaultCatalog2017()
+	// 2017 street prices: HARMLESS never crosses rip-and-replace.
+	p, err := PlanCampaign(inventory(4, 24), cat, cat.ServerPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrossoverWave != 0 {
+		t.Errorf("2017 prices must never cross; got wave %d", p.CrossoverWave)
+	}
+	// Absurdly expensive servers flip the verdict immediately.
+	cat.ServerPrice = 100 * cat.COTSSDNSwitchPrice
+	p, err = PlanCampaign(inventory(4, 24), cat, cat.ServerPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrossoverWave != 1 {
+		t.Errorf("overpriced servers: crossover at wave %d, want 1", p.CrossoverWave)
+	}
+}
+
+func TestPlanCampaignValidation(t *testing.T) {
+	cat := cost.DefaultCatalog2017()
+	for _, tc := range []struct {
+		name   string
+		sw     []SwitchSpec
+		budget float64
+		want   string
+	}{
+		{"empty", nil, cat.ServerPrice, "empty inventory"},
+		{"dup", []SwitchSpec{{Name: "a", Ports: 8}, {Name: "a", Ports: 8}}, cat.ServerPrice, "duplicate"},
+		{"noname", []SwitchSpec{{Ports: 8}}, cat.ServerPrice, "empty name"},
+		{"tiny", []SwitchSpec{{Name: "a", Ports: 1}}, cat.ServerPrice, "at least 2"},
+		{"broke", []SwitchSpec{{Name: "a", Ports: 8}}, cat.ServerPrice - 1, "does not buy"},
+	} {
+		_, err := PlanCampaign(tc.sw, cat, tc.budget)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFormatCampaignTable(t *testing.T) {
+	cat := cost.DefaultCatalog2017()
+	p, err := PlanCampaign(inventory(3, 24), cat, cat.ServerPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := FormatCampaignTable(p)
+	for _, want := range []string{"wave", "cum-spend", "cum-rip&repl", "crossover vs rip-and-replace: never"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
