@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -314,6 +315,7 @@ func runDemo(d *fabric.Deployment) {
 	for p := range d.Hosts {
 		hostPorts = append(hostPorts, p)
 	}
+	sort.Ints(hostPorts)
 	for _, a := range hostPorts {
 		for _, b := range hostPorts {
 			if a >= b {

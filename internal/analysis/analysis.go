@@ -5,12 +5,13 @@
 //
 // The repo's performance and determinism claims rest on invariants the
 // compiler cannot see — injected clocks, zero-alloc hot paths,
-// single-writer stats shards, borrowed dataplane frames. The four
-// analyzers built on this framework (clockinject, hotpathalloc,
-// shardlock, frameown — one package each next to this one) turn those
-// conventions into mechanical gates; cmd/harmlesslint is the
-// multichecker that runs them, and `make lint` / CI fail on any
-// diagnostic.
+// single-writer stats shards, borrowed dataplane frames, map-order-free
+// digests. The analyzers built on this framework (clockinject,
+// hotpathalloc, shardlock, frameown, detorder, atomicmix, errdrop —
+// one package each next to this one) turn those conventions into
+// mechanical gates; cmd/harmlesslint is the multichecker that runs
+// them, and `make lint` / CI fail on any diagnostic not burned into
+// the committed baseline (see Baseline).
 //
 // # Directives
 //
@@ -21,9 +22,11 @@
 //	    for the known hot paths, required by hotpathalloc).
 //	//harmless:allow-wallclock <reason>
 //	//harmless:allow-alloc <reason>
-//	//harmless:allow-mixed <reason>
 //	//harmless:allow-copy <reason>
 //	//harmless:allow-retain <reason>
+//	//harmless:allow-maporder <reason>
+//	//harmless:allow-plain <reason>
+//	//harmless:allow-droperr <reason>
 //	    escape hatches suppressing one diagnostic of the owning
 //	    analyzer on the same line or the line directly below the
 //	    comment. The reason is mandatory: a bare escape hatch is
@@ -44,10 +47,23 @@ import (
 // package through the Pass and reports diagnostics; it returns an
 // error only for internal failures (a broken analyzer), never for
 // findings.
+//
+// An analyzer whose invariant spans package boundaries (atomicmix: a
+// field atomically accessed in one package must not be read plainly in
+// another) sets RunModule instead: it receives every loaded package at
+// once as a ModulePass. Exactly one of Run and RunModule must be set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
+}
+
+// ModulePass carries every typechecked package of one load into a
+// module-level analyzer run. Each element keeps its own directive
+// index and Report sink; diagnostics from all of them are combined.
+type ModulePass struct {
+	Passes []*Pass
 }
 
 // Diagnostic is one finding, attached to a resolved source position.

@@ -72,8 +72,16 @@ func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 	var diags []analysis.Diagnostic
 	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info,
 		func(d analysis.Diagnostic) { diags = append(diags, d) })
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+	switch {
+	case a.RunModule != nil:
+		// A module analyzer sees the fixture as a one-package module.
+		if err := a.RunModule(&analysis.ModulePass{Passes: []*analysis.Pass{pass}}); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+	default:
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
 	}
 	analysis.SortDiagnostics(diags)
 

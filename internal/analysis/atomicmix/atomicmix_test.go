@@ -1,0 +1,102 @@
+package atomicmix_test
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/analysis"
+	"github.com/harmless-sdn/harmless/internal/analysis/analysistest"
+	"github.com/harmless-sdn/harmless/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata/src/atomicmix", "atomicmix", atomicmix.Analyzer)
+}
+
+// mapImporter serves the fixture package to its importer and everything
+// else from source.
+type mapImporter struct {
+	std  types.ImporterFrom
+	pkgs map[string]*types.Package
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m mapImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p := m.pkgs[path]; p != nil {
+		return p, nil
+	}
+	return m.std.ImportFrom(path, dir, mode)
+}
+
+// TestCrossPackage is the point of the module pass: the atomic ops live
+// in package a, the plain accesses in package b, and they must still
+// meet.
+func TestCrossPackage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	aPath := write("a.go", `package a
+
+import "sync/atomic"
+
+type Ctr struct{ N uint64 }
+
+func (c *Ctr) Inc() { atomic.AddUint64(&c.N, 1) }
+`)
+	bPath := write("b.go", `package b
+
+import "fix/a"
+
+func Reset(c *a.Ctr)       { c.N = 0 }
+func Peek(c *a.Ctr) uint64 { return c.N }
+`)
+
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	pkgA, err := analysis.CheckPackage(fset, std, "fix/a", []string{aPath})
+	if err != nil {
+		t.Fatalf("check a: %v", err)
+	}
+	imp := mapImporter{std: std, pkgs: map[string]*types.Package{"fix/a": pkgA.Types}}
+	pkgB, err := analysis.CheckPackage(fset, imp, "fix/b", []string{bPath})
+	if err != nil {
+		t.Fatalf("check b: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	mp := &analysis.ModulePass{}
+	for _, pkg := range []*analysis.Package{pkgA, pkgB} {
+		mp.Passes = append(mp.Passes, analysis.NewPass(atomicmix.Analyzer, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, report))
+	}
+	if err := atomicmix.Analyzer.RunModule(mp); err != nil {
+		t.Fatal(err)
+	}
+	analysis.SortDiagnostics(diags)
+
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	for i, wantSub := range []string{"plain write to field N", "plain read of field N"} {
+		if filepath.Base(diags[i].Pos.Filename) != "b.go" {
+			t.Errorf("diag %d at %s, want b.go", i, diags[i].Pos.Filename)
+		}
+		if !strings.Contains(diags[i].Message, wantSub) {
+			t.Errorf("diag %d = %q, want substring %q", i, diags[i].Message, wantSub)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package atomicmix is the single-package fixture: fields touched via
+// sync/atomic must not be read or written plainly; fields never
+// touched atomically are free.
+package atomicmix
+
+import "sync/atomic"
+
+type mixed struct {
+	hits  uint64
+	total uint64
+	cold  uint64
+}
+
+func (m *mixed) record() {
+	atomic.AddUint64(&m.hits, 1)
+	atomic.AddUint64(&m.total, 1)
+}
+
+func (m *mixed) reset() {
+	m.hits = 0 // want "plain write to field hits"
+	m.total++  // want "plain write to field total"
+	m.cold = 0 // never touched atomically: plain writes are fine
+}
+
+func (m *mixed) snapshot() uint64 {
+	return m.hits + atomic.LoadUint64(&m.total) // want "plain read of field hits"
+}
+
+// Handing out the address enables unsynchronized access: a read.
+func (m *mixed) escape() *uint64 {
+	return &m.hits // want "plain read of field hits"
+}
+
+func (m *mixed) resetHatched() {
+	m.hits = 0 //harmless:allow-plain construction-time reset before the struct is published
+}
+
+func bareHatch(m *mixed) {
+	m.hits = 0 //harmless:allow-plain // want "needs a reason"
+}
+
+func unusedHatch() {
+	//harmless:allow-plain nothing atomic on the next line // want "unused //harmless:allow-plain directive"
+	x := 1
+	_ = x
+}

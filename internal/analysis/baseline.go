@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is a committed snapshot of accepted diagnostics. It lets a
+// new analyzer land strict — every finding it would newly report is
+// recorded once, reviewed, and burned down over time — without the
+// historical findings blocking CI. The file is JSON so diffs review
+// line by line.
+//
+// A baseline is matched against a run's diagnostics as a multiset
+// keyed on (analyzer, file, message): line numbers shift with every
+// edit above a finding, so they are recorded for human orientation but
+// ignored when matching. Entries that match nothing in the current run
+// are *stale* — the finding was fixed (or the analyzer changed) and
+// the entry must be deleted, otherwise the baseline itself rots; Apply
+// surfaces them and harmlesslint fails on them.
+type Baseline struct {
+	// Version guards the schema; bump on incompatible change.
+	Version int `json:"version"`
+	// Tool documents the generator for the curious reader.
+	Tool    string          `json:"tool,omitempty"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one accepted diagnostic.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Message  string `json:"message"`
+}
+
+// BaselineVersion is the current schema version.
+const BaselineVersion = 1
+
+// NewBaseline snapshots diags as a fresh baseline.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	b := &Baseline{Version: BaselineVersion, Tool: "harmlesslint", Entries: []BaselineEntry{}}
+	for _, d := range diags {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Message:  d.Message,
+		})
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("baseline %s: version %d, want %d (regenerate with -write-baseline)", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as indented JSON with a trailing newline.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// baselineKey is the matching identity of one entry.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// Apply splits diags into the findings not covered by the baseline
+// (new — these fail the run) and reports the baseline entries nothing
+// matched (stale — these fail the run too, so the baseline can only
+// shrink honestly). Matching is multiset: an entry suppresses exactly
+// one diagnostic with the same (analyzer, file, message).
+func (b *Baseline) Apply(diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	budget := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}]++
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, d.Pos.Filename, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func diag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineApply(t *testing.T) {
+	run := []Diagnostic{
+		diag("errdrop", "internal/a/a.go", 10, "dropped error"),
+		diag("errdrop", "internal/a/a.go", 40, "dropped error"),
+		diag("detorder", "internal/b/b.go", 7, "map order reaches sink"),
+	}
+	b := NewBaseline(run[:2]) // accept the two errdrop findings only
+
+	fresh, stale := b.Apply(run)
+	if len(stale) != 0 {
+		t.Fatalf("stale = %v, want none", stale)
+	}
+	if len(fresh) != 1 || fresh[0].Analyzer != "detorder" {
+		t.Fatalf("fresh = %v, want just the detorder finding", fresh)
+	}
+
+	// Lines shift, matching must not: the same findings on new lines
+	// still count against the same entries.
+	moved := []Diagnostic{
+		diag("errdrop", "internal/a/a.go", 11, "dropped error"),
+		diag("errdrop", "internal/a/a.go", 44, "dropped error"),
+	}
+	fresh, stale = b.Apply(moved)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("after line drift: fresh=%v stale=%v, want none", fresh, stale)
+	}
+
+	// One of the two accepted findings is fixed: its entry is stale,
+	// and only one budget slot is consumed.
+	fresh, stale = b.Apply(moved[:1])
+	if len(fresh) != 0 {
+		t.Fatalf("fresh = %v, want none", fresh)
+	}
+	if len(stale) != 1 || stale[0].Message != "dropped error" {
+		t.Fatalf("stale = %v, want exactly one of the two identical entries", stale)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	b := NewBaseline([]Diagnostic{diag("atomicmix", "internal/c/c.go", 3, "plain read")})
+	if err := b.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0] != b.Entries[0] {
+		t.Fatalf("round trip mismatch: %+v", got.Entries)
+	}
+
+	// An empty baseline still round-trips with a non-nil entries list.
+	empty := NewBaseline(nil)
+	if err := empty.Save(path); err != nil {
+		t.Fatalf("save empty: %v", err)
+	}
+	got, err = LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("load empty: %v", err)
+	}
+	if got.Entries == nil || len(got.Entries) != 0 {
+		t.Fatalf("empty baseline entries = %v, want []", got.Entries)
+	}
+}
+
+func TestRelativePath(t *testing.T) {
+	root := filepath.FromSlash("/mod/root")
+	for in, want := range map[string]string{
+		filepath.FromSlash("/mod/root/internal/a/a.go"): "internal/a/a.go",
+		filepath.FromSlash("/elsewhere/b.go"):           filepath.FromSlash("/elsewhere/b.go"),
+	} {
+		if got := RelativePath(root, in); got != want {
+			t.Errorf("RelativePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package detorder flags map iteration order leaking into
+// order-sensitive output.
+//
+// The repo's CI gates compare SHA-256 digests of simulator verdicts and
+// migration reports bitwise; the HTTP and IPFIX surfaces promise stable
+// rendering for diffing. One `for k := range m` feeding a hash writer,
+// an fmt stream or an exported record in map order breaks all of that
+// nondeterministically — the worst kind of flake, because it passes
+// most runs. The discipline is collect-then-sort: append the keys (or
+// rows) to a slice, sort it, then emit.
+//
+// detorder enforces that discipline with the flow package's taint
+// engine. Ranging over a map (or sync.Map, or maps.Keys/maps.Values)
+// taints the iteration variables and everything derived from them;
+// passing a tainted value through sort.* or slices.Sort* cleanses it.
+// Two shapes are reported:
+//
+//   - emission inside the loop: a stream write (fmt.Fprint*/Print*, a
+//     Write/WriteString/Encode method on a receiver that outlives the
+//     loop) or a floating-point accumulation lexically inside an
+//     unordered range body. The bytes hit the stream in map order no
+//     matter how clean the arguments are.
+//
+//   - tainted data reaching a sink: a value derived from map iteration
+//     (a slice of keys, a joined string) arrives at fmt, json.Marshal
+//     or a Write/Encode call without passing through a sort.
+//
+// Integer accumulation (sum += v) stays clean — addition over int is
+// commutative bitwise — but float accumulation is flagged: rounding
+// makes float addition order-sensitive, and the digests compare
+// bitwise. Map writes and lookups by key are order-free and never
+// taint. encoding/json sorts map keys itself, so encoding a map value
+// is fine; encoding a tainted slice is not.
+//
+// Scope: the deterministic-output packages (internal/sim,
+// internal/migrate, internal/telemetry) and cmd/harmlessd, whose
+// /stats and /flows handlers promise stable text. Deliberate unordered
+// emission carries //harmless:allow-maporder <reason>.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"github.com/harmless-sdn/harmless/internal/analysis"
+	"github.com/harmless-sdn/harmless/internal/analysis/flow"
+)
+
+// Analyzer is the detorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "flags map iteration order reaching hashes, streams and encoders without a sort",
+	Run:  run,
+}
+
+// Scope selects the packages whose output is digest- or diff-compared:
+// the simulator, the migration engine, telemetry export, and the
+// daemon's HTTP handlers.
+var Scope = regexp.MustCompile(`(^|/)(sim|migrate|telemetry|cmd/harmlessd)(/|$)`)
+
+const hatch = "allow-maporder"
+
+// sortCleansers are the sort-package functions that order their
+// argument in place. IsSorted/Search only inspect, so they are not
+// listed.
+var sortCleansers = map[string]bool{
+	"Sort":        true,
+	"Stable":      true,
+	"Slice":       true,
+	"SliceStable": true,
+	"Strings":     true,
+	"Ints":        true,
+	"Float64s":    true,
+}
+
+// streamMethods are method names that append to an order-sensitive
+// receiver: hash.Hash and io.Writer writes, bytes.Buffer/strings.Builder
+// appends, and encoder Encode methods (json.Encoder, gob, the repo's
+// IPFIX encoder).
+var streamMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+}
+
+// checker carries per-package sink state across the flow hooks.
+type checker struct {
+	pass *analysis.Pass
+	// loops is the stack of open unordered-iteration contexts: range
+	// statements over a map (or tainted sequence) and sync.Map Range
+	// calls currently being walked.
+	loops []ast.Node
+	// reported dedups by sink position: one diagnostic per site even
+	// when a call is both inside a loop and fed tainted arguments.
+	reported map[token.Pos]bool
+}
+
+func run(pass *analysis.Pass) error {
+	if !Scope.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	c := &checker{pass: pass, reported: make(map[token.Pos]bool)}
+	cfg := flow.Config{
+		SourceRange: func(x ast.Expr) bool { return isUnorderedSource(pass, x) },
+		SourceCall:  func(call *ast.CallExpr) bool { return isMapsKeysValues(pass, call) },
+		Cleanse:     func(call *ast.CallExpr) bool { return isSortCall(pass, call) },
+		Enter:       c.enter,
+		Leave:       c.leave,
+	}
+	flow.Run(pass, cfg)
+	pass.ReportUnused(hatch)
+	return nil
+}
+
+func (c *checker) enter(t *flow.Tracker, n ast.Node) {
+	switch x := n.(type) {
+	case *ast.RangeStmt:
+		if isUnorderedSource(c.pass, x.X) || taintedExpr(t, x.X) {
+			c.loops = append(c.loops, x)
+		}
+	case *ast.CallExpr:
+		if c.isSyncMapRange(x) {
+			c.loops = append(c.loops, x)
+			return
+		}
+		c.checkCall(t, x)
+	case *ast.AssignStmt:
+		c.checkFloatAccum(x)
+	}
+}
+
+func (c *checker) leave(_ *flow.Tracker, n ast.Node) {
+	if len(c.loops) > 0 && c.loops[len(c.loops)-1] == n {
+		c.loops = c.loops[:len(c.loops)-1]
+	}
+}
+
+// sink is one classified order-sensitive call.
+type sink struct {
+	name string
+	// dest is the stream the call appends to (writer argument or
+	// method receiver); nil for process-global destinations (stdout)
+	// and pure serializers.
+	dest ast.Expr
+	// payload lists the arguments whose data reaches the destination.
+	payload []ast.Expr
+	// emission: the act of calling inside an unordered loop leaks
+	// order even with clean arguments (stream appends). Pure
+	// serializers like json.Marshal only leak via tainted payload.
+	emission bool
+}
+
+// checkCall reports both shapes on one call site. A sink whose
+// destination is declared inside the current loop is skipped entirely:
+// writing per-entry data into a per-entry buffer is the sanctioned
+// collect-then-sort pattern, and the buffer itself picks up taint for
+// downstream checking.
+func (c *checker) checkCall(t *flow.Tracker, call *ast.CallExpr) {
+	s, ok := c.classifySink(call)
+	if !ok {
+		return
+	}
+	if s.dest != nil && c.declaredInLoop(s.dest) {
+		return
+	}
+	if s.emission && c.inUnorderedLoop() {
+		c.report(call.Pos(), "map iteration order reaches %s: the stream sees entries unordered; collect into a slice, sort, then emit (or add //harmless:allow-maporder <reason>)", s.name)
+		return
+	}
+	for _, arg := range s.payload {
+		if !taintedExpr(t, arg) {
+			continue
+		}
+		c.report(call.Pos(), "value derived from map iteration order reaches %s unsorted; sort before emitting (or add //harmless:allow-maporder <reason>)", s.name)
+		return
+	}
+}
+
+// classifySink recognizes the order-sensitive calls. fmt.Sprint* and
+// fmt.Errorf are deliberately absent: they build a value, and the flow
+// engine propagates taint through them to wherever that value actually
+// leaks.
+func (c *checker) classifySink(call *ast.CallExpr) (sink, bool) {
+	if pkg, fn, ok := pkgFunc(c.pass, call); ok {
+		switch {
+		case pkg == "fmt" && hasPrefix(fn, "Fprint"):
+			if len(call.Args) == 0 {
+				return sink{}, false
+			}
+			return sink{name: "fmt." + fn, dest: call.Args[0], payload: call.Args[1:], emission: true}, true
+		case pkg == "fmt" && hasPrefix(fn, "Print"):
+			return sink{name: "fmt." + fn, payload: call.Args, emission: true}, true
+		case pkg == "encoding/json" && hasPrefix(fn, "Marshal"):
+			return sink{name: "json." + fn, payload: call.Args}, true
+		case pkg == "io" && fn == "WriteString" && len(call.Args) == 2:
+			return sink{name: "io.WriteString", dest: call.Args[0], payload: call.Args[1:], emission: true}, true
+		case pkg == "encoding/binary" && fn == "Write" && len(call.Args) == 3:
+			return sink{name: "binary.Write", dest: call.Args[0], payload: call.Args[2:], emission: true}, true
+		}
+		return sink{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !streamMethods[sel.Sel.Name] {
+		return sink{}, false
+	}
+	if _, isMethod := c.pass.TypesInfo.Selections[sel]; !isMethod {
+		return sink{}, false
+	}
+	name := "(" + types.TypeString(typeOf(c.pass, sel.X), shortQualifier) + ")." + sel.Sel.Name
+	return sink{name: name, dest: sel.X, payload: call.Args, emission: true}, true
+}
+
+// checkFloatAccum flags `sum += v` on a float declared outside an
+// unordered loop: float addition rounds, so the total depends on
+// iteration order bitwise — exactly what the digest gates compare.
+func (c *checker) checkFloatAccum(x *ast.AssignStmt) {
+	switch x.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if !c.inUnorderedLoop() || len(x.Lhs) != 1 {
+		return
+	}
+	basic, ok := typeOf(c.pass, x.Lhs[0]).Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return
+	}
+	if c.declaredInLoop(x.Lhs[0]) {
+		return
+	}
+	c.report(x.Pos(), "floating-point accumulation in map iteration order is not bitwise deterministic; accumulate over a sorted slice (or add //harmless:allow-maporder <reason>)")
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] || c.pass.Suppressed(pos, hatch) {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) inUnorderedLoop() bool { return len(c.loops) > 0 }
+
+// declaredInLoop reports whether the root object of e is declared
+// inside the innermost open unordered loop — a loop-local receiver
+// (per-entry buffer) does not leak order beyond its entry.
+func (c *checker) declaredInLoop(e ast.Expr) bool {
+	if len(c.loops) == 0 {
+		return false
+	}
+	loop := c.loops[len(c.loops)-1]
+	obj := rootObject(c.pass, e)
+	return obj != nil && obj.Pos() >= loop.Pos() && obj.Pos() <= loop.End()
+}
+
+// isSyncMapRange matches `x.Range(func(k, v) bool)` on a source.
+func (c *checker) isSyncMapRange(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" || len(call.Args) != 1 {
+		return false
+	}
+	if _, ok := call.Args[0].(*ast.FuncLit); !ok {
+		return false
+	}
+	return isUnorderedSource(c.pass, sel.X)
+}
+
+// isUnorderedSource reports whether ranging over x iterates in
+// unspecified order: map types and sync.Map.
+func isUnorderedSource(pass *analysis.Pass, x ast.Expr) bool {
+	typ := typeOf(pass, x)
+	if typ == nil {
+		return false
+	}
+	if _, isMap := typ.Underlying().(*types.Map); isMap {
+		return true
+	}
+	if ptr, ok := typ.(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	if named, ok := typ.(*types.Named); ok {
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Map"
+	}
+	return false
+}
+
+// isMapsKeysValues matches maps.Keys/maps.Values from the standard
+// maps package: their iterators yield in map order.
+func isMapsKeysValues(pass *analysis.Pass, call *ast.CallExpr) bool {
+	pkg, fn, ok := pkgFunc(pass, call)
+	return ok && pkg == "maps" && (fn == "Keys" || fn == "Values")
+}
+
+// isSortCall matches the ordering functions of sort and slices.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	pkg, fn, ok := pkgFunc(pass, call)
+	if !ok {
+		return false
+	}
+	switch pkg {
+	case "sort":
+		return sortCleansers[fn]
+	case "slices":
+		return hasPrefix(fn, "Sort")
+	}
+	return false
+}
+
+// pkgFunc resolves a call to (package path, function name) when its
+// callee is a package-level function selected off an import.
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// rootObject digs to the base identifier of a selector/index/call
+// chain and resolves it; nil when the root is not a plain object
+// (e.g. a call result), which callers treat as "outside any loop".
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return types.Typ[types.Invalid]
+}
+
+func taintedExpr(t *flow.Tracker, e ast.Expr) bool {
+	_, ok := t.TaintedAt(e)
+	return ok
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// shortQualifier renders package-qualified type names with the bare
+// package name, keeping messages readable.
+func shortQualifier(p *types.Package) string { return p.Name() }

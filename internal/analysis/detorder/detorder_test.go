@@ -1,0 +1,39 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/analysis/analysistest"
+	"github.com/harmless-sdn/harmless/internal/analysis/detorder"
+)
+
+func TestDetOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/sim", "sim", detorder.Analyzer)
+}
+
+func TestDetOrderOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/outofscope", "outofscope", detorder.Analyzer)
+}
+
+// The scope must track the repo's digest- and diff-compared surfaces.
+func TestScopeCoversRepoPackages(t *testing.T) {
+	for _, path := range []string{
+		"github.com/harmless-sdn/harmless/internal/sim",
+		"github.com/harmless-sdn/harmless/internal/migrate",
+		"github.com/harmless-sdn/harmless/internal/telemetry",
+		"github.com/harmless-sdn/harmless/cmd/harmlessd",
+	} {
+		if !detorder.Scope.MatchString(path) {
+			t.Errorf("scope must cover %s", path)
+		}
+	}
+	for _, path := range []string{
+		"github.com/harmless-sdn/harmless/internal/openflow",
+		"github.com/harmless-sdn/harmless/internal/netem",
+		"github.com/harmless-sdn/harmless/cmd/fleetsim",
+	} {
+		if detorder.Scope.MatchString(path) {
+			t.Errorf("scope must not cover %s", path)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package outofscope is outside detorder's scope: unordered emission
+// here is fine, and even an unused escape hatch must not be reported.
+package outofscope
+
+import "fmt"
+
+func emitDirect(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func clean() {
+	//harmless:allow-maporder out of scope, never checked
+	x := 1
+	_ = x
+}

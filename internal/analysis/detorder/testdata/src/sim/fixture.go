@@ -1,0 +1,159 @@
+// Package sim is the detorder in-scope fixture ("sim" matches the
+// analyzer's scope regexp).
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"maps"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Direct emission inside a map range: the canonical bug.
+func emitDirect(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "map iteration order reaches fmt.Println"
+	}
+}
+
+// A builder that outlives the loop accumulates bytes in map order.
+func emitBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "map iteration order reaches .strings.Builder..WriteString"
+	}
+	return b.String()
+}
+
+// Per-entry buffer inside the loop, collected and sorted: the
+// sanctioned pattern, nothing to report.
+func emitPerEntrySorted(m map[string]int) string {
+	var rows []string
+	for k, v := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		fmt.Fprintf(&b, "=%d", v)
+		rows = append(rows, b.String())
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// Collect keys, sort, then emit: clean.
+func emitKeysSorted(m map[string]int, w io.Writer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Collecting without the sort leaves the aggregate in map order.
+func emitKeysUnsorted(m map[string]int, w io.Writer) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Fprintf(w, "%v\n", keys) // want "derived from map iteration order reaches fmt.Fprintf"
+}
+
+// Ranging over the unsorted aggregate is just as unordered.
+func emitKeysUnsortedLoop(m map[string]int, w io.Writer) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		fmt.Fprintln(w, k) // want "map iteration order reaches fmt.Fprintln"
+	}
+}
+
+// Taint survives derivation: join then emit.
+func emitJoined(m map[string]int, w io.Writer) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	joined := strings.Join(keys, ",")
+	io.WriteString(w, joined) // want "derived from map iteration order reaches io.WriteString"
+}
+
+// sync.Map.Range is a map range with a callback.
+func emitSyncMap(sm *sync.Map) {
+	sm.Range(func(k, v any) bool {
+		fmt.Println(k, v) // want "map iteration order reaches fmt.Println"
+		return true
+	})
+}
+
+// maps.Keys yields in map order; slices.Sorted cleanses it.
+func keysViaIterSorted(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+func keysViaIterUnsorted(m map[string]int, w io.Writer) {
+	for k := range maps.Keys(m) {
+		fmt.Fprintln(w, k) // want "map iteration order reaches fmt.Fprintln"
+	}
+}
+
+// Float addition rounds, so the sum depends on iteration order
+// bitwise; integer addition does not.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "floating-point accumulation in map iteration order"
+	}
+	return total
+}
+
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// encoding/json sorts map keys itself: encoding a map value is fine.
+func encodeMap(m map[string]int, w io.Writer) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+// Marshalling a slice built in map order bakes that order into bytes.
+func marshalUnsorted(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return json.Marshal(keys) // want "derived from map iteration order reaches json.Marshal"
+}
+
+// The escape hatch with a reason suppresses; a bare hatch is itself a
+// diagnostic; a hatch that suppresses nothing rots and is reported.
+func emitHatched(m map[string]int) {
+	for k := range m {
+		//harmless:allow-maporder debug dump, ordering explicitly irrelevant here
+		fmt.Println(k)
+	}
+}
+
+func emitHatchedBare(m map[string]int) {
+	for k := range m {
+		//harmless:allow-maporder // want "needs a reason"
+		fmt.Println(k)
+	}
+}
+
+func cleanWithStaleHatch() {
+	//harmless:allow-maporder nothing on the next line iterates a map // want "unused //harmless:allow-maporder directive"
+	x := 1
+	_ = x
+}

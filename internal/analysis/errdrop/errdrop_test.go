@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/analysis/analysistest"
+	"github.com/harmless-sdn/harmless/internal/analysis/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errdrop", "errdrop", errdrop.Analyzer)
+}

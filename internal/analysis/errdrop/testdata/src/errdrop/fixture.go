@@ -1,0 +1,76 @@
+// Package errdrop is the errdrop fixture: errors discarded on paths
+// reachable from Rollback/Stop/Close are diagnosed; handled errors,
+// unreachable functions and exempt callees are not.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+type conn struct{}
+
+func (c *conn) Close() error { return nil }
+func (c *conn) Flush() error { return nil }
+
+type mgr struct {
+	a, b *conn
+}
+
+func (m *mgr) Close() error {
+	fmt.Println("closing") // fmt is exempt
+	m.a.Close()            // want "error from Close discarded on a teardown path .reachable from Close."
+	defer m.b.Close()      // want "error from Close discarded"
+	_ = m.a.Flush()        // want "error from Flush discarded"
+	v, _ := m.pair()       // want "error from pair discarded"
+	_ = v
+	return nil
+}
+
+func (m *mgr) Stop() { m.teardown() }
+
+// teardown is reachable from Stop only; the provenance names the root.
+func (m *mgr) teardown() {
+	m.a.Close() // want "error from Close discarded on a teardown path .reachable from Stop."
+}
+
+// Handled and aggregated errors are the fix, not findings.
+func (m *mgr) Rollback() error {
+	var errs []error
+	if err := m.a.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	errs = append(errs, m.b.Close())
+	return errors.Join(errs...)
+}
+
+func (m *mgr) pair() (int, error) { return 0, nil }
+
+// Not reachable from any teardown root: dropping here is someone
+// else's problem (and often fine).
+func probe(c *conn) {
+	c.Close()
+}
+
+// In-memory writers never fail; their dropped "errors" are noise.
+func (m *mgr) stop() string {
+	var b strings.Builder
+	b.WriteString("done")
+	return b.String()
+}
+
+func (m *mgr) closeHatched() error {
+	//harmless:allow-droperr the transport is already torn down, Close can only re-report the original failure
+	m.a.Close()
+	m.b.Close() //harmless:allow-droperr // want "needs a reason"
+	return nil
+}
+
+func (m *mgr) Shutdown() { m.closeHatched() } // want "error from closeHatched discarded"
+
+func unusedHatch() {
+	//harmless:allow-droperr nothing drops an error below // want "unused //harmless:allow-droperr directive"
+	x := 1
+	_ = x
+}

@@ -1,0 +1,84 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/harmless-sdn/harmless/internal/analysis"
+)
+
+// Graph is the package-local call graph: an edge per direct call or
+// bare function reference (method values and function identifiers
+// passed as callbacks count — the callee may run, which is what
+// reachability means here). Only functions declared in the analyzed
+// package appear; calls into other packages are leaves by
+// construction, so the graph stays module-local without loading the
+// world.
+type Graph struct {
+	// Decls maps each function object to its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Callees lists, per declared function, the declared functions it
+	// calls or references.
+	Callees map[*types.Func][]*types.Func
+}
+
+// NewGraph builds the call graph of one pass's package.
+func NewGraph(pass *analysis.Pass) *Graph {
+	g := &Graph{
+		Decls:   make(map[*types.Func]*ast.FuncDecl),
+		Callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				g.Decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range g.Decls {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || seen[callee] {
+				return true
+			}
+			if _, declared := g.Decls[callee]; !declared {
+				return true
+			}
+			seen[callee] = true
+			g.Callees[fn] = append(g.Callees[fn], callee)
+			return true
+		})
+	}
+	return g
+}
+
+// Reachable returns the set of declared functions reachable from any
+// function matching root (roots included).
+func (g *Graph) Reachable(root func(*types.Func) bool) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if out[fn] {
+			return
+		}
+		out[fn] = true
+		for _, callee := range g.Callees[fn] {
+			visit(callee)
+		}
+	}
+	for fn := range g.Decls {
+		if root(fn) {
+			visit(fn)
+		}
+	}
+	return out
+}

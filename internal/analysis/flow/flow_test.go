@@ -1,0 +1,217 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/harmless-sdn/harmless/internal/analysis"
+	"github.com/harmless-sdn/harmless/internal/analysis/flow"
+)
+
+// checkSrc typechecks one in-memory fixture package.
+func checkSrc(t *testing.T, src string) (*analysis.Pass, *token.FileSet) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixture.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := analysis.CheckFixture(fset, "fixture", []string{path})
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	a := &analysis.Analyzer{Name: "flowtest", Run: func(*analysis.Pass) error { return nil }}
+	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, func(analysis.Diagnostic) {})
+	return pass, fset
+}
+
+// mapRangeConfig taints map ranges and cleanses sort.* calls.
+func mapRangeConfig(pass *analysis.Pass) flow.Config {
+	return flow.Config{
+		SourceRange: func(x ast.Expr) bool {
+			tv, ok := pass.TypesInfo.Types[x]
+			if !ok || tv.Type == nil {
+				return false
+			}
+			_, isMap := tv.Type.Underlying().(*types.Map)
+			return isMap
+		},
+		Cleanse: func(call *ast.CallExpr) bool {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			return ok && pn.Imported().Path() == "sort"
+		},
+	}
+}
+
+// taintAtLine runs the tracker and records, per call to probe(x), the
+// taintedness of the argument at that program point.
+func taintAtLine(t *testing.T, src string) map[int]bool {
+	t.Helper()
+	pass, fset := checkSrc(t, src)
+	cfg := mapRangeConfig(pass)
+	got := make(map[int]bool)
+	cfg.Enter = func(tr *flow.Tracker, n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+			_, tainted := tr.TaintedAt(call.Args[0])
+			got[fset.Position(call.Pos()).Line] = tainted
+		}
+	}
+	flow.Run(pass, cfg)
+	return got
+}
+
+func TestMapRangeTaintAndSortCleanse(t *testing.T) {
+	got := taintAtLine(t, `package fixture
+
+import "sort"
+
+func probe(any) {}
+
+func f(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	probe(keys) // line 12: tainted
+	sort.Strings(keys)
+	probe(keys) // line 14: cleansed
+}
+`)
+	if !got[12] {
+		t.Errorf("keys must be tainted before the sort")
+	}
+	if got[14] {
+		t.Errorf("keys must be clean after sort.Strings")
+	}
+}
+
+func TestTaintThroughDerivedValues(t *testing.T) {
+	got := taintAtLine(t, `package fixture
+
+import "strings"
+
+func probe(any) {}
+
+type rec struct{ s string }
+
+func f(m map[string]int) {
+	var keys []string
+	for k, v := range m {
+		_ = v
+		keys = append(keys, k)
+	}
+	joined := strings.Join(keys, ",")
+	probe(joined) // line 16: derived data stays tainted
+	r := rec{s: joined}
+	probe(r) // line 18: composite literal carries it
+	clean := "x"
+	probe(clean) // line 20: untouched variable is clean
+}
+`)
+	for line, want := range map[int]bool{16: true, 18: true, 20: false} {
+		if got[line] != want {
+			t.Errorf("line %d tainted = %v, want %v", line, got[line], want)
+		}
+	}
+}
+
+func TestReturnSummaryAndArgToParam(t *testing.T) {
+	got := taintAtLine(t, `package fixture
+
+func probe(any) {}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func sink(v []string) {
+	probe(v) // line 14: parameter tainted by caller's argument
+}
+
+func caller(m map[string]int) {
+	ks := unsortedKeys(m)
+	probe(ks) // line 19: summary taints the call site
+	sink(ks)
+}
+`)
+	for _, line := range []int{14, 19} {
+		if !got[line] {
+			t.Errorf("line %d must be tainted", line)
+		}
+	}
+}
+
+func TestStrongUpdateClears(t *testing.T) {
+	got := taintAtLine(t, `package fixture
+
+func probe(any) {}
+
+func f(m map[string]string) {
+	s := ""
+	for _, v := range m {
+		s += v
+	}
+	probe(s) // line 10: accumulated from iteration
+	s = "reset"
+	probe(s) // line 12: strong update cleared it
+}
+`)
+	if !got[10] {
+		t.Errorf("accumulated string must be tainted")
+	}
+	if got[12] {
+		t.Errorf("reassigned string must be clean")
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	pass, _ := checkSrc(t, `package fixture
+
+type T struct{}
+
+func (t *T) Close() { t.helperA() }
+func (t *T) helperA() { helperB() }
+func helperB() {}
+func unrelated() {}
+func callback() {}
+func (t *T) Stop() { run(callback) }
+func run(f func()) { f() }
+`)
+	g := flow.NewGraph(pass)
+	reach := g.Reachable(func(fn *types.Func) bool {
+		return fn.Name() == "Close" || fn.Name() == "Stop"
+	})
+	names := make(map[string]bool)
+	for fn := range reach {
+		names[fn.Name()] = true
+	}
+	for _, want := range []string{"Close", "helperA", "helperB", "Stop", "run", "callback"} {
+		if !names[want] {
+			t.Errorf("%s must be reachable, got %v", want, names)
+		}
+	}
+	if names["unrelated"] {
+		t.Errorf("unrelated must not be reachable")
+	}
+}

@@ -1,0 +1,662 @@
+// Package flow is the small dataflow layer under the repo's
+// determinism analyzers: an intra-procedural reaching-taint pass over
+// the typed AST plus a package-local call graph.
+//
+// The engine is deliberately modest — flow-insensitive across
+// branches, no aliasing, no pointer analysis — but it tracks the
+// propagation that matters for the repo's invariants: values flow
+// through assignments, composite literals, indexing, `append`, string
+// concatenation, call arguments (a tainted argument taints the
+// callee's parameter) and returns (a function returning tainted data
+// taints its call sites, via package-local summaries iterated to a
+// fixpoint). Analyzers define what introduces taint (SourceRange,
+// SourceCall), what removes it (Cleanse — a sort call, typically) and
+// inspect program points with Enter/Leave hooks during a final walk
+// where Tracker.TaintedAt answers with program-point-accurate state.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+
+	"github.com/harmless-sdn/harmless/internal/analysis"
+)
+
+// Config parameterizes one taint analysis.
+type Config struct {
+	// SourceRange reports whether ranging over x introduces taint on
+	// the loop variables (detorder: x has map type). Also consulted
+	// for sync.Map-style `x.Range(func(k, v) bool)` callbacks, whose
+	// parameters are tainted the same way.
+	SourceRange func(x ast.Expr) bool
+	// SourceCall reports whether call's results are tainted at birth
+	// (e.g. maps.Keys). Optional.
+	SourceCall func(call *ast.CallExpr) bool
+	// Cleanse reports whether call removes taint: its argument
+	// objects are untainted in place (sort.Strings(keys)) and its
+	// results are clean (slices.Sorted(...)).
+	Cleanse func(call *ast.CallExpr) bool
+	// Enter and Leave are invoked around every node of the final
+	// walk; the Tracker's TaintedAt is program-point-accurate inside
+	// them. Optional.
+	Enter func(t *Tracker, n ast.Node)
+	Leave func(t *Tracker, n ast.Node)
+}
+
+// Tracker holds the taint state of one package run.
+type Tracker struct {
+	pass *analysis.Pass
+	cfg  Config
+
+	// taint maps a variable (or struct field) object to the position
+	// of the source that tainted it.
+	taint map[types.Object]token.Pos
+	// returns summarizes package-local functions that return tainted
+	// values.
+	returns map[*types.Func]token.Pos
+
+	fn      *types.Func // enclosing declared function during a walk
+	changed bool
+	final   bool
+}
+
+// Run executes the analysis over every function in the pass's package:
+// propagation walks to a fixpoint (bounded), then one final walk
+// firing the Enter/Leave hooks.
+func Run(pass *analysis.Pass, cfg Config) *Tracker {
+	t := &Tracker{
+		pass:    pass,
+		cfg:     cfg,
+		taint:   make(map[types.Object]token.Pos),
+		returns: make(map[*types.Func]token.Pos),
+	}
+	const maxWalks = 8 // bounds summary/param chains; package call chains here are far shallower
+	for i := 0; i < maxWalks; i++ {
+		t.changed = false
+		t.walkPackage()
+		if !t.changed {
+			break
+		}
+	}
+	t.final = true
+	t.walkPackage()
+	return t
+}
+
+// TaintedAt reports whether e holds tainted data at the current
+// program point, and the source position that tainted it. Valid
+// during Enter/Leave; after Run it answers with end-state.
+func (t *Tracker) TaintedAt(e ast.Expr) (token.Pos, bool) {
+	return t.eval(e)
+}
+
+// TaintedObj reports the taint of one object directly.
+func (t *Tracker) TaintedObj(obj types.Object) (token.Pos, bool) {
+	pos, ok := t.taint[obj]
+	return pos, ok
+}
+
+func (t *Tracker) walkPackage() {
+	for _, f := range t.pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				fn, _ := t.pass.TypesInfo.Defs[d.Name].(*types.Func)
+				t.fn = fn
+				t.walkStmt(d.Body)
+				t.fn = nil
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						t.assignSpec(vs)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (t *Tracker) enter(n ast.Node) {
+	if t.final && t.cfg.Enter != nil && n != nil {
+		t.cfg.Enter(t, n)
+	}
+}
+
+func (t *Tracker) leave(n ast.Node) {
+	if t.final && t.cfg.Leave != nil && n != nil {
+		t.cfg.Leave(t, n)
+	}
+}
+
+// --- statements -----------------------------------------------------
+
+func (t *Tracker) walkStmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	t.enter(s)
+	defer t.leave(s)
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for _, s := range x.List {
+			t.walkStmt(s)
+		}
+	case *ast.ExprStmt:
+		t.walkExpr(x.X)
+	case *ast.AssignStmt:
+		t.walkAssign(x)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					t.assignSpec(vs)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		t.walkRange(x)
+	case *ast.IfStmt:
+		t.walkStmt(x.Init)
+		t.walkExpr(x.Cond)
+		t.walkStmt(x.Body)
+		t.walkStmt(x.Else)
+	case *ast.ForStmt:
+		t.walkStmt(x.Init)
+		t.walkExpr(x.Cond)
+		t.walkStmt(x.Post)
+		t.walkStmt(x.Body)
+	case *ast.SwitchStmt:
+		t.walkStmt(x.Init)
+		t.walkExpr(x.Tag)
+		t.walkStmt(x.Body)
+	case *ast.TypeSwitchStmt:
+		t.walkStmt(x.Init)
+		t.walkStmt(x.Assign)
+		t.walkStmt(x.Body)
+	case *ast.CaseClause:
+		for _, e := range x.List {
+			t.walkExpr(e)
+		}
+		for _, s := range x.Body {
+			t.walkStmt(s)
+		}
+	case *ast.SelectStmt:
+		t.walkStmt(x.Body)
+	case *ast.CommClause:
+		t.walkStmt(x.Comm)
+		for _, s := range x.Body {
+			t.walkStmt(s)
+		}
+	case *ast.LabeledStmt:
+		t.walkStmt(x.Stmt)
+	case *ast.DeferStmt:
+		t.walkExpr(x.Call)
+	case *ast.GoStmt:
+		t.walkExpr(x.Call)
+	case *ast.SendStmt:
+		t.walkExpr(x.Chan)
+		t.walkExpr(x.Value)
+	case *ast.IncDecStmt:
+		t.walkExpr(x.X)
+	case *ast.ReturnStmt:
+		t.walkReturn(x)
+	}
+}
+
+func (t *Tracker) walkAssign(x *ast.AssignStmt) {
+	for _, rhs := range x.Rhs {
+		t.walkExpr(rhs)
+	}
+	switch {
+	case x.Tok == token.ASSIGN || x.Tok == token.DEFINE:
+		if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+			// k, v := f(): every target shares the call's taint.
+			pos, tainted := t.eval(x.Rhs[0])
+			for _, lhs := range x.Lhs {
+				t.setTaint(lhs, pos, tainted)
+			}
+			return
+		}
+		for i, lhs := range x.Lhs {
+			if i >= len(x.Rhs) {
+				break
+			}
+			pos, tainted := t.eval(x.Rhs[i])
+			t.setTaint(lhs, pos, tainted)
+		}
+	default:
+		// Augmented assignment (+=, |=, ...): the target keeps its own
+		// taint and absorbs the operand's.
+		lhs := x.Lhs[0]
+		pos, tainted := t.eval(x.Rhs[0])
+		if !tainted {
+			pos, tainted = t.eval(lhs)
+		}
+		if tainted {
+			t.setTaint(lhs, pos, true)
+		}
+	}
+}
+
+func (t *Tracker) assignSpec(vs *ast.ValueSpec) {
+	for _, v := range vs.Values {
+		t.walkExpr(v)
+	}
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		pos, tainted := t.eval(vs.Values[0])
+		for _, name := range vs.Names {
+			t.setTaint(name, pos, tainted)
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		pos, tainted := t.eval(vs.Values[i])
+		t.setTaint(name, pos, tainted)
+	}
+}
+
+func (t *Tracker) walkRange(x *ast.RangeStmt) {
+	t.walkExpr(x.X)
+	pos, tainted := x.X.Pos(), t.cfg.SourceRange != nil && t.cfg.SourceRange(x.X)
+	if !tainted {
+		pos, tainted = t.eval(x.X)
+	}
+	if tainted {
+		t.setTaint(x.Key, pos, true)
+		t.setTaint(x.Value, pos, true)
+	}
+	t.walkStmt(x.Body)
+}
+
+func (t *Tracker) walkReturn(x *ast.ReturnStmt) {
+	for _, res := range x.Results {
+		t.walkExpr(res)
+		if pos, tainted := t.eval(res); tainted {
+			t.summarize(pos)
+		}
+	}
+	if len(x.Results) == 0 && t.fn != nil {
+		// Naked return: named results carry whatever they hold.
+		sig := t.fn.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			if pos, tainted := t.taint[sig.Results().At(i)]; tainted {
+				t.summarize(pos)
+			}
+		}
+	}
+}
+
+func (t *Tracker) summarize(pos token.Pos) {
+	if t.fn == nil {
+		return
+	}
+	if _, ok := t.returns[t.fn]; !ok {
+		t.returns[t.fn] = pos
+		t.changed = true
+	}
+}
+
+// --- expressions ----------------------------------------------------
+
+// walkExpr traverses an expression for its side effects on the state:
+// nested calls (summaries, cleansing, argument-to-parameter taint)
+// and function literals. Taintedness itself is answered by eval.
+func (t *Tracker) walkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	t.enter(e)
+	defer t.leave(e)
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		t.walkExpr(x.Fun)
+		for _, arg := range x.Args {
+			t.walkExpr(arg)
+		}
+		t.applyCall(x)
+	case *ast.FuncLit:
+		// The literal's body runs with the state in scope where it is
+		// built; walking it in place keeps closure captures flowing.
+		t.walkStmt(x.Body)
+	case *ast.ParenExpr:
+		t.walkExpr(x.X)
+	case *ast.SelectorExpr:
+		t.walkExpr(x.X)
+	case *ast.IndexExpr:
+		t.walkExpr(x.X)
+		t.walkExpr(x.Index)
+	case *ast.IndexListExpr:
+		t.walkExpr(x.X)
+	case *ast.SliceExpr:
+		t.walkExpr(x.X)
+		t.walkExpr(x.Low)
+		t.walkExpr(x.High)
+		t.walkExpr(x.Max)
+	case *ast.StarExpr:
+		t.walkExpr(x.X)
+	case *ast.UnaryExpr:
+		t.walkExpr(x.X)
+	case *ast.BinaryExpr:
+		t.walkExpr(x.X)
+		t.walkExpr(x.Y)
+	case *ast.KeyValueExpr:
+		t.walkExpr(x.Key)
+		t.walkExpr(x.Value)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			t.walkExpr(el)
+		}
+	case *ast.TypeAssertExpr:
+		t.walkExpr(x.X)
+	}
+}
+
+// applyCall applies a call's state effects once its arguments are
+// walked: cleansing untaints argument objects in place; arguments
+// tainted at a package-local callee taint the matching parameters
+// (the "call arguments" leg of propagation); `m.Range(func(k, v))`
+// over a source taints the callback parameters.
+func (t *Tracker) applyCall(call *ast.CallExpr) {
+	if t.cfg.Cleanse != nil && t.cfg.Cleanse(call) {
+		for _, arg := range call.Args {
+			t.untaint(arg)
+		}
+		return
+	}
+	if t.rangeCallback(call) {
+		return
+	}
+	// A method fed tainted data accumulates it into its receiver:
+	// buf.WriteString(k) inside a map range makes buf (and later
+	// buf.String()) order-dependent.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := t.pass.TypesInfo.Selections[sel]; isMethod {
+			for _, arg := range call.Args {
+				if pos, tainted := t.eval(arg); tainted {
+					t.setTaint(sel.X, pos, true)
+					break
+				}
+			}
+		}
+	}
+	callee := t.calleeFunc(call)
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pos, tainted := t.eval(arg)
+		if !tainted {
+			continue
+		}
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		if pi < 0 || pi >= sig.Params().Len() {
+			continue
+		}
+		t.setObjTaint(sig.Params().At(pi), pos)
+	}
+}
+
+// rangeCallback handles `x.Range(func(k, v any) bool { ... })` when x
+// is a source (sync.Map.Range and friends): the callback parameters
+// are tainted exactly like range loop variables.
+func (t *Tracker) rangeCallback(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" || len(call.Args) != 1 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.FuncLit)
+	if !ok || t.cfg.SourceRange == nil || !t.cfg.SourceRange(sel.X) {
+		return false
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := t.pass.TypesInfo.Defs[name]; obj != nil {
+				t.setObjTaint(obj, sel.X.Pos())
+			}
+		}
+	}
+	return true
+}
+
+// eval answers whether e holds tainted data right now.
+func (t *Tracker) eval(e ast.Expr) (token.Pos, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := t.objOf(x)
+		if obj == nil {
+			return token.NoPos, false
+		}
+		pos, ok := t.taint[obj]
+		return pos, ok
+	case *ast.SelectorExpr:
+		if sel, ok := t.pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if pos, ok := t.taint[sel.Obj()]; ok {
+				return pos, true
+			}
+		}
+		return t.eval(x.X)
+	case *ast.IndexExpr:
+		// A map lookup by key is order-independent; slice and array
+		// elements inherit the container's taint.
+		if _, isMap := typeOf(t.pass, x.X).Underlying().(*types.Map); isMap {
+			return token.NoPos, false
+		}
+		return t.eval(x.X)
+	case *ast.SliceExpr:
+		return t.eval(x.X)
+	case *ast.StarExpr:
+		return t.eval(x.X)
+	case *ast.UnaryExpr:
+		return t.eval(x.X)
+	case *ast.BinaryExpr:
+		if pos, ok := t.eval(x.X); ok {
+			return pos, true
+		}
+		return t.eval(x.Y)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if pos, ok := t.eval(v); ok {
+				return pos, true
+			}
+		}
+	case *ast.TypeAssertExpr:
+		return t.eval(x.X)
+	case *ast.CallExpr:
+		return t.evalCall(x)
+	}
+	return token.NoPos, false
+}
+
+func (t *Tracker) evalCall(call *ast.CallExpr) (token.Pos, bool) {
+	if t.cfg.Cleanse != nil && t.cfg.Cleanse(call) {
+		return token.NoPos, false
+	}
+	if t.cfg.SourceCall != nil && t.cfg.SourceCall(call) {
+		return call.Pos(), true
+	}
+	// Builtins: append carries its arguments' taint; size queries and
+	// the other builtins are clean (a map's length is deterministic
+	// even though its order is not).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := t.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name != "append" {
+				return token.NoPos, false
+			}
+			for _, arg := range call.Args {
+				if pos, ok := t.eval(arg); ok {
+					return pos, true
+				}
+			}
+			return token.NoPos, false
+		}
+	}
+	// Conversions pass taint through.
+	if tv, ok := t.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return t.eval(call.Args[0])
+		}
+		return token.NoPos, false
+	}
+	// Package-local callee with a "returns tainted" summary.
+	if callee := t.calleeFunc(call); callee != nil {
+		if pos, ok := t.returns[callee]; ok {
+			return pos, true
+		}
+		if callee.Pkg() == t.pass.Pkg {
+			// Local functions are fully summarized; trust the summary.
+			return token.NoPos, false
+		}
+	}
+	// Unknown (out-of-module or dynamic) call: derived data keeps the
+	// arguments' taint — strings.Join(keys, ",") is as unordered as
+	// keys itself.
+	for _, arg := range call.Args {
+		if pos, ok := t.eval(arg); ok {
+			return pos, true
+		}
+	}
+	// A method on a tainted receiver yields tainted data.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := t.pass.TypesInfo.Selections[sel]; isMethod {
+			return t.eval(sel.X)
+		}
+	}
+	return token.NoPos, false
+}
+
+// calleeFunc resolves a call to its static *types.Func, or nil.
+func (t *Tracker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := t.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := t.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// --- state updates --------------------------------------------------
+
+// setTaint propagates into an assignment target. Clean assignment to
+// a plain identifier is a strong update (the variable now holds clean
+// data); fields, elements and dereferences only ever gain taint — a
+// clean write through them cannot prove the rest of the structure
+// clean.
+func (t *Tracker) setTaint(lhs ast.Expr, pos token.Pos, tainted bool) {
+	if lhs == nil {
+		return
+	}
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := t.objOf(x)
+		if obj == nil {
+			return
+		}
+		if tainted {
+			t.setObjTaint(obj, pos)
+		} else if _, had := t.taint[obj]; had {
+			delete(t.taint, obj)
+		}
+	case *ast.SelectorExpr:
+		if !tainted {
+			return
+		}
+		if sel, ok := t.pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			t.setObjTaint(sel.Obj(), pos)
+			return
+		}
+		t.setTaint(x.X, pos, true)
+	case *ast.IndexExpr:
+		if !tainted {
+			return
+		}
+		// m[k] = v stores by key: the map stays order-free. Slice and
+		// array element writes taint the container.
+		if _, isMap := typeOf(t.pass, x.X).Underlying().(*types.Map); isMap {
+			return
+		}
+		t.setTaint(x.X, pos, true)
+	case *ast.StarExpr:
+		if tainted {
+			t.setTaint(x.X, pos, true)
+		}
+	}
+}
+
+func (t *Tracker) setObjTaint(obj types.Object, pos token.Pos) {
+	if obj == nil || obj.Name() == "_" {
+		return
+	}
+	if _, ok := t.taint[obj]; !ok {
+		t.taint[obj] = pos
+		t.changed = true
+	}
+}
+
+// untaint removes the taint of an argument cleansed in place.
+func (t *Tracker) untaint(arg ast.Expr) {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		if obj := t.objOf(x); obj != nil {
+			delete(t.taint, obj)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := t.pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			delete(t.taint, sel.Obj())
+		}
+	case *ast.UnaryExpr:
+		t.untaint(x.X)
+	case *ast.StarExpr:
+		t.untaint(x.X)
+	}
+}
+
+// objOf resolves an identifier to its object in Defs or Uses.
+func (t *Tracker) objOf(id *ast.Ident) types.Object {
+	if obj := t.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return t.pass.TypesInfo.Uses[id]
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return types.Typ[types.Invalid]
+}
+
+// Snapshot clones the current taint state; used by tests to assert
+// propagation results.
+func (t *Tracker) Snapshot() map[types.Object]token.Pos {
+	return maps.Clone(t.taint)
+}

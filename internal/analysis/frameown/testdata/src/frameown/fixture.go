@@ -64,3 +64,14 @@ func notABatch(s *sniffer) {
 	v := struct{ Frames [][]byte }{}
 	s.last = v.Frames[0]
 }
+
+func hatchedBare(s *sniffer, b *dataplane.Batch) {
+	s.last = b.Frames[0] //harmless:allow-retain // want "needs a reason"
+}
+
+func staleHatch(s *sniffer, b *dataplane.Batch) {
+	//harmless:allow-retain nothing on the next line retains a frame // want "unused //harmless:allow-retain directive"
+	n := len(b.Frames[0])
+	_ = n
+	_ = s
+}

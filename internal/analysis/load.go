@@ -13,6 +13,7 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -93,6 +94,21 @@ func CheckFixture(fset *token.FileSet, path string, filenames []string) (*Packag
 	return CheckPackage(fset, sourceImporter(fset), path, filenames)
 }
 
+// ModuleDir resolves the root directory of the main module governing
+// dir, so diagnostic positions can be reported module-relative — the
+// same path on every machine and in every checkout, which is what lets
+// baseline entries and CI annotations match across environments.
+func ModuleDir(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go list -m: %v\n%s", err, errb.String())
+	}
+	return strings.TrimSpace(out.String()), nil
+}
+
 // Load enumerates the packages matching patterns (relative to dir, the
 // module root) with the go command and typechecks each. Test files are
 // not loaded: the invariants gate production code, and _test.go files
@@ -142,23 +158,50 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 }
 
 // Analyze loads the packages matching patterns and runs every analyzer
-// over every package, returning the combined, position-sorted
-// diagnostics.
+// — per-package passes over each package, module passes once over the
+// whole load — returning the combined, position-sorted diagnostics
+// with filenames normalized to module-relative slash paths.
 func Analyze(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info,
-				func(d Diagnostic) { diags = append(diags, d) })
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			mp := &ModulePass{}
+			for _, pkg := range pkgs {
+				mp.Passes = append(mp.Passes, NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, report))
+			}
+			if err := a.RunModule(mp); err != nil {
+				return nil, fmt.Errorf("%s: %v", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, report)
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
 			}
 		}
 	}
+	if modDir, err := ModuleDir(dir); err == nil && modDir != "" {
+		for i := range diags {
+			diags[i].Pos.Filename = RelativePath(modDir, diags[i].Pos.Filename)
+		}
+	}
 	SortDiagnostics(diags)
 	return diags, nil
+}
+
+// RelativePath rewrites an absolute position filename to a
+// module-relative slash path. Files outside root (should not happen
+// for module loads) keep their absolute name.
+func RelativePath(root, filename string) string {
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return filepath.ToSlash(rel)
 }

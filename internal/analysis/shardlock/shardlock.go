@@ -2,28 +2,23 @@
 //
 // The datapath scales by giving every worker its own shard — a
 // stats.ShardedCounter slot, a telemetry shard, a cache shard — and
-// the whole point is that shard state is touched either by exactly one
-// writer or through sync/atomic, never a mix. Two mistakes quietly
-// break that:
+// the whole point is that shard state synchronizes through its
+// address. Copying a struct that embeds a lock or a shard carries the
+// mutex/atomic state away from the memory every other goroutine
+// synchronizes on; go vet's copylocks catches the stdlib cases, this
+// analyzer adds the repo's own no-copy types, stats.ShardedCounter
+// first among them.
 //
-//   - copying a struct that embeds a lock or a shard: the copy carries
-//     the mutex/atomic state away from the memory every other
-//     goroutine synchronizes on (go vet's copylocks catches the
-//     stdlib cases; this analyzer adds the repo's own no-copy types,
-//     stats.ShardedCounter first among them);
-//   - accessing the same struct field both through sync/atomic and by
-//     plain assignment: the plain write races every atomic reader,
-//     and the race detector only sees it on schedules that interleave.
+// (Mixed atomic/plain access to the same field — the discipline's
+// other failure mode — is atomicmix's department, which checks it
+// module-wide rather than per package.)
 //
 // Diagnostics are suppressed line by line with
-// //harmless:allow-copy <reason> or //harmless:allow-mixed <reason>
-// (a constructor initializing a field before the struct is published
-// is the classic legitimate mix).
+// //harmless:allow-copy <reason>.
 package shardlock
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 
@@ -33,117 +28,16 @@ import (
 // Analyzer is the shardlock pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "shardlock",
-	Doc:  "flags copies of lock/shard-holding structs and mixed atomic/plain field access",
+	Doc:  "flags copies of lock/shard-holding structs",
 	Run:  run,
 }
 
-const (
-	hatchCopy  = "allow-copy"
-	hatchMixed = "allow-mixed"
-)
+const hatchCopy = "allow-copy"
 
 func run(pass *analysis.Pass) error {
-	checkMixedAtomics(pass)
 	checkCopies(pass)
-	pass.ReportUnused(hatchCopy, hatchMixed)
+	pass.ReportUnused(hatchCopy)
 	return nil
-}
-
-// --- mixed atomic / plain access ------------------------------------
-
-// atomicOp reports whether name is one of sync/atomic's pointer-based
-// operations (AddUint64, LoadInt32, StoreUint64, SwapPointer,
-// CompareAndSwapUint64, ...).
-func atomicOp(name string) bool {
-	for _, p := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
-		if strings.HasPrefix(name, p) {
-			return true
-		}
-	}
-	return false
-}
-
-// checkMixedAtomics collects every struct field passed by address to a
-// sync/atomic operation, then reports every plain write to one of
-// those fields in the same package.
-func checkMixedAtomics(pass *analysis.Pass) {
-	atomicFields := make(map[*types.Var]bool)
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !atomicOp(sel.Sel.Name) {
-				return true
-			}
-			pkgIdent, ok := sel.X.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			pn, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
-			if !ok || pn.Imported().Path() != "sync/atomic" {
-				return true
-			}
-			if fv := addressedField(pass, call.Args[0]); fv != nil {
-				atomicFields[fv] = true
-			}
-			return true
-		})
-	}
-	if len(atomicFields) == 0 {
-		return
-	}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			var targets []ast.Expr
-			switch x := n.(type) {
-			case *ast.AssignStmt:
-				targets = x.Lhs
-			case *ast.IncDecStmt:
-				targets = []ast.Expr{x.X}
-			default:
-				return true
-			}
-			for _, lhs := range targets {
-				fv := fieldOf(pass, lhs)
-				if fv == nil || !atomicFields[fv] {
-					continue
-				}
-				if pass.Suppressed(lhs.Pos(), hatchMixed) {
-					continue
-				}
-				pass.Reportf(lhs.Pos(),
-					"mixed access: field %s is written with sync/atomic elsewhere in this package; plain write races atomic readers (or add //harmless:allow-mixed <reason>)",
-					fv.Name())
-			}
-			return true
-		})
-	}
-}
-
-// addressedField resolves &x.f to the field object f, or nil.
-func addressedField(pass *analysis.Pass, arg ast.Expr) *types.Var {
-	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
-	if !ok || u.Op != token.AND {
-		return nil
-	}
-	return fieldOf(pass, u.X)
-}
-
-// fieldOf resolves a selector expression to the struct field it names,
-// or nil for anything else.
-func fieldOf(pass *analysis.Pass, expr ast.Expr) *types.Var {
-	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
-	if !ok {
-		return nil
-	}
-	s, ok := pass.TypesInfo.Selections[sel]
-	if !ok || s.Kind() != types.FieldVal {
-		return nil
-	}
-	return s.Obj().(*types.Var)
 }
 
 // --- lock/shard copies ----------------------------------------------

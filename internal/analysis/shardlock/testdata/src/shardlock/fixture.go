@@ -1,11 +1,9 @@
-// Package shardlock is the shardlock fixture: lock/shard copies and
-// mixed atomic/plain field access must be diagnosed; pointer passing,
-// atomic-only access and hatched lines must not.
+// Package shardlock is the shardlock fixture: lock/shard copies must
+// be diagnosed; pointer passing and hatched lines must not.
 package shardlock
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"github.com/harmless-sdn/harmless/internal/stats"
 )
@@ -70,31 +68,15 @@ func hatched() {
 	_ = g3
 }
 
-// --- mixed atomic / plain access ------------------------------------
-
-type mixed struct {
-	hits  uint64
-	total uint64
-	cold  uint64
+func hatchedBare() {
+	var g guarded
+	g4 := g //harmless:allow-copy // want "needs a reason"
+	_ = g4
 }
 
-func (m *mixed) record() {
-	atomic.AddUint64(&m.hits, 1)
-	atomic.AddUint64(&m.total, 1)
-}
-
-func (m *mixed) reset() {
-	m.hits = 0 // want "mixed access: field hits is written with sync/atomic"
-	m.total++  // want "mixed access: field total is written with sync/atomic"
-	m.cold = 0 // never touched atomically: plain writes are fine
-}
-
-func (m *mixed) resetHatched() {
-	m.hits = 0 //harmless:allow-mixed construction-time reset before the struct is published
-}
-
-func (m *mixed) read() uint64 {
-	// Plain reads of atomic fields are not flagged (snapshots under a
-	// quiesced writer are idiomatic); only plain writes race.
-	return m.cold + atomic.LoadUint64(&m.hits)
+func staleHatch() {
+	//harmless:allow-copy nothing on the next line copies a lock // want "unused //harmless:allow-copy directive"
+	var g guarded
+	g.n = 1
+	_ = g.n
 }

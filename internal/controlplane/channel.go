@@ -242,6 +242,7 @@ func (c *Channel) Close() {
 		c.conn = nil
 		c.mu.Unlock()
 		if conn != nil {
+			//harmless:allow-droperr the channel is already marked closed; the transport close error has no consumer and cannot affect protocol state
 			conn.Close()
 		}
 		c.set.remove(c)

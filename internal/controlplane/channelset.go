@@ -164,6 +164,7 @@ func (s *ChannelSet) Close() {
 	}
 	s.mu.Unlock()
 	for _, l := range listeners {
+		//harmless:allow-droperr listener teardown fan-out; net.Listener close errors have no consumer here and each channel closes itself below
 		l.Close()
 	}
 	for _, c := range chans {

@@ -89,20 +89,25 @@ func (c *Controller) Err() error {
 	return c.err
 }
 
-// Close tears the channel down.
+// Close tears the channel down and returns the transport's close
+// error, if any.
 func (c *Controller) Close() error {
-	c.teardown(nil)
-	return nil
+	return c.teardown(nil)
 }
 
-func (c *Controller) teardown(err error) {
+// teardown shuts the controller down once, recording err as the
+// terminal cause. It returns the transport's close error (nil when a
+// prior teardown already ran).
+func (c *Controller) teardown(err error) error {
+	var cerr error
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		c.err = err
 		c.mu.Unlock()
 		close(c.done)
-		c.conn.Close()
+		cerr = c.conn.Close()
 	})
+	return cerr
 }
 
 // Send queues a message without awaiting any reply.

@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -277,11 +278,16 @@ func (x *Executor) failf(format string, args ...any) {
 	x.failures = append(x.failures, fmt.Sprintf(format, args...))
 }
 
-// Close tears down every rig.
-func (x *Executor) Close() {
+// Close tears down every rig; the returned error aggregates per-rig
+// teardown failures.
+func (x *Executor) Close() error {
+	var errs []error
 	for _, r := range x.rigs {
-		r.close()
+		if err := r.close(); err != nil {
+			errs = append(errs, fmt.Errorf("migrate: closing %s: %w", r.spec.Name, err))
+		}
 	}
+	return errors.Join(errs...)
 }
 
 // Run plans and executes a campaign in one call.

@@ -2,6 +2,7 @@ package migrate
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -304,10 +305,12 @@ func (r *switchRig) conforms() (bool, string) {
 // comparison until the flap ends.
 func (r *switchRig) rollback() error {
 	if r.master != nil {
+		//harmless:allow-droperr rollback abandons the OF transport; a close error cannot affect restoration, which restoredExactly verifies byte for byte
 		r.master.Close()
 		r.master = nil
 	}
 	if r.slave != nil {
+		//harmless:allow-droperr abandoned like the master transport above
 		r.slave.Close()
 		r.slave = nil
 	}
@@ -339,19 +342,21 @@ func (r *switchRig) s4Switch() *softswitch.Switch {
 	return r.mgr.S4().SS2
 }
 
-// close tears the rig down.
-func (r *switchRig) close() {
+// close tears the rig down regardless of errors; the returned error
+// aggregates transport and driver close failures.
+func (r *switchRig) close() error {
+	var errs []error
 	if r.master != nil {
-		r.master.Close()
+		errs = append(errs, r.master.Close())
 	}
 	if r.slave != nil {
-		r.slave.Close()
+		errs = append(errs, r.slave.Close())
 	}
 	if r.mgr != nil && r.mgr.S4() != nil {
 		r.mgr.S4().Stop()
 	}
 	if r.driver != nil {
-		r.driver.Close()
+		errs = append(errs, r.driver.Close())
 	}
 	for _, l := range r.links {
 		l.Close()
@@ -359,4 +364,5 @@ func (r *switchRig) close() {
 	if r.trunk != nil {
 		r.trunk.Close()
 	}
+	return errors.Join(errs...)
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -396,13 +397,15 @@ func (s *PacketSim) Switch(name string) *softswitch.Switch {
 	return s.switches[id]
 }
 
-// Close tears down links and the control-plane rig.
-func (s *PacketSim) Close() {
+// Close tears down links and the control-plane rig; the returned
+// error aggregates controller transport close failures.
+func (s *PacketSim) Close() error {
+	var errs []error
 	if s.master != nil {
-		s.master.Close()
+		errs = append(errs, s.master.Close())
 	}
 	if s.slave != nil {
-		s.slave.Close()
+		errs = append(errs, s.slave.Close())
 	}
 	if s.agent != nil {
 		s.agent.Stop()
@@ -410,4 +413,5 @@ func (s *PacketSim) Close() {
 	for _, l := range s.links {
 		l.Close()
 	}
+	return errors.Join(errs...)
 }
